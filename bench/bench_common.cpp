@@ -1,0 +1,106 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace ehja::bench {
+
+double scale_from_args(int argc, char** argv, double fallback) {
+  double scale = fallback;
+  if (const char* env = std::getenv("EHJA_BENCH_SCALE")) {
+    scale = std::atof(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::atof(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      scale = 0.1;
+    }
+  }
+  if (scale <= 0.0) scale = fallback;
+  return scale;
+}
+
+EhjaConfig paper_config(double scale) {
+  EhjaConfig config;
+  config.algorithm = Algorithm::kHybrid;
+  config.initial_join_nodes = 4;
+  config.join_pool_nodes = 24;
+  config.data_sources = 4;
+  config.build_rel.tuple_count =
+      static_cast<std::uint64_t>(10'000'000 * scale);
+  config.probe_rel.tuple_count =
+      static_cast<std::uint64_t>(10'000'000 * scale);
+  config.build_rel.schema = Schema{100};
+  config.probe_rel.schema = Schema{100};
+  config.build_rel.dist = DistributionSpec::Uniform();
+  config.probe_rel.dist = DistributionSpec::Uniform();
+  config.chunk_tuples = 10'000;
+  config.generation_slice_tuples = 10'000;
+  config.node_hash_memory_bytes =
+      static_cast<std::uint64_t>(80.0 * kMiB * scale);
+  config.seed = 20040607;
+  return config;
+}
+
+RunResult run(const EhjaConfig& config) { return run_ehja(config); }
+
+std::uint64_t calibrated_budget(const RelationSpec& build,
+                                std::uint32_t pool_nodes) {
+  // Base calibration: 24 nodes x 80 MiB over a 10M x (100+24) B footprint.
+  const double base_ratio =
+      (24.0 * 80.0 * kMiB) / (10'000'000.0 * (100.0 + 24.0));
+  const double footprint = static_cast<double>(build.tuple_count) *
+                           static_cast<double>(tuple_footprint(build.schema));
+  return static_cast<std::uint64_t>(footprint * base_ratio / pool_nodes);
+}
+
+FigureTable::FigureTable(std::string title, std::string row_header,
+                         std::vector<std::string> columns)
+    : title_(std::move(title)),
+      row_header_(std::move(row_header)),
+      columns_(std::move(columns)) {}
+
+void FigureTable::add_row(const std::string& label,
+                          const std::vector<double>& values) {
+  rows_.emplace_back(label, values);
+}
+
+void FigureTable::print() const {
+  std::printf("\n%s\n", title_.c_str());
+  for (std::size_t i = 0; i < title_.size(); ++i) std::printf("-");
+  std::printf("\n%-24s", row_header_.c_str());
+  for (const auto& column : columns_) {
+    std::printf("%16s", column.c_str());
+  }
+  std::printf("\n");
+  for (const auto& [label, values] : rows_) {
+    std::printf("%-24s", label.c_str());
+    for (const double v : values) {
+      if (v == static_cast<double>(static_cast<long long>(v)) &&
+          std::abs(v) < 1e15) {
+        std::printf("%16lld", static_cast<long long>(v));
+      } else {
+        std::printf("%16.2f", v);
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+std::string count_label(std::uint64_t tuples) {
+  if (tuples % 1'000'000 == 0 && tuples > 0) {
+    return std::to_string(tuples / 1'000'000) + "M";
+  }
+  if (tuples % 1'000 == 0 && tuples > 0) {
+    return std::to_string(tuples / 1'000) + "K";
+  }
+  return std::to_string(tuples);
+}
+
+}  // namespace ehja::bench

@@ -1,0 +1,55 @@
+// Figures 12 and 13: load balance of the three EHJAs -- the minimum,
+// average and maximum number of build-tuple chunks held per join node --
+// under uniform keys (Fig. 12) and extreme Gaussian skew, sigma = 1e-4
+// (Fig. 13).
+//
+// Paper shapes: uniform -- split & hybrid are well balanced; extreme skew
+// -- the split algorithm is badly imbalanced (the hot range stays on a few
+// nodes), the hybrid algorithm stays comparatively balanced thanks to the
+// reshuffle, replication sits between.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ehja;
+  using namespace ehja::bench;
+  const double scale = scale_from_args(argc, argv);
+  std::printf("== bench_fig12_13_load_balance (scale=%.3g) ==\n", scale);
+
+  struct SkewCase {
+    const char* figure;
+    const char* label;
+    DistributionSpec dist;
+  };
+  const SkewCase cases[] = {
+      {"Figure 12", "uniform", DistributionSpec::Uniform()},
+      {"Figure 13", "sigma=0.0001", DistributionSpec::Gaussian(0.5, 1e-4)},
+  };
+
+  for (const SkewCase& sk : cases) {
+    FigureTable fig(
+        std::string(sk.figure) +
+            ": Load per join node in chunks (min/avg/max), " + sk.label,
+        "algorithm", {"MinLoad", "AverageLoad", "MaxLoad", "Nodes"});
+    for (const Algorithm algorithm : kEhjaAlgorithms) {
+      EhjaConfig config = paper_config(scale);
+      config.algorithm = algorithm;
+      config.build_rel.dist = sk.dist;
+      config.probe_rel.dist = sk.dist;
+      const RunResult result = run(config);
+      const RunningStats load =
+          summarize(result.metrics.load_chunks(config.chunk_tuples));
+      fig.add_row(algorithm_name(algorithm),
+                  {load.min(), load.mean(), load.max(),
+                   static_cast<double>(result.metrics.final_join_nodes)});
+      std::printf("  %-14s %-12s load(chunks) min=%6.1f avg=%6.1f max=%6.1f "
+                  "imbalance=%4.2f\n",
+                  sk.label, algorithm_name(algorithm), load.min(),
+                  load.mean(), load.max(), load.imbalance());
+    }
+    fig.print();
+  }
+  return 0;
+}

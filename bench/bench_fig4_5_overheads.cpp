@@ -1,0 +1,64 @@
+// Figures 4 and 5: expansion overheads across the initial-node sweep.
+//   Fig. 4 -- extra communication volume (in 10k-tuple chunks) that the
+//            three EHJAs add during the hash-table building phase, against
+//            the reference line "size of table R".
+//   Fig. 5 -- cumulative split time (split algorithm) vs reshuffle time
+//            (hybrid algorithm).
+//
+// Paper shapes: both overheads shrink as the initial-node estimate improves
+// and vanish at 16 nodes; when the estimate is badly wrong the split
+// algorithm's overhead exceeds the hybrid's reshuffle (ss4.2.4 analysis).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "relation/chunk.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ehja;
+  using namespace ehja::bench;
+  const double scale = scale_from_args(argc, argv);
+  std::printf("== bench_fig4_5_overheads (scale=%.3g) ==\n", scale);
+
+  const std::uint32_t sweep[] = {1, 2, 4, 8, 16};
+  FigureTable fig4(
+      "Figure 4: Extra communication in the build phase (chunks)",
+      "initial nodes", {"Replicated", "Split", "Hybrid", "SizeOfTableR"});
+  FigureTable fig5("Figure 5: Split time vs reshuffle time (s)",
+                   "initial nodes", {"SplitTime", "ReshuffleTime"});
+
+  const EhjaConfig base = paper_config(scale);
+  const double r_chunks = static_cast<double>(
+      chunks_for(base.build_rel.tuple_count, base.chunk_tuples));
+
+  for (const std::uint32_t nodes : sweep) {
+    std::vector<double> comm;
+    double split_time = 0.0;
+    double reshuffle_time = 0.0;
+    for (const Algorithm algorithm : kEhjaAlgorithms) {
+      EhjaConfig config = paper_config(scale);
+      config.algorithm = algorithm;
+      config.initial_join_nodes = nodes;
+      const RunResult result = run(config);
+      comm.push_back(static_cast<double>(result.metrics.extra_build_chunks));
+      if (algorithm == Algorithm::kSplit) {
+        split_time = result.metrics.split_time;
+      }
+      if (algorithm == Algorithm::kHybrid) {
+        reshuffle_time = result.metrics.reshuffle_time();
+      }
+      std::printf("  J=%-3u %-12s extra=%6llu chunks  split_t=%6.2fs "
+                  "reshuffle_t=%6.2fs\n",
+                  nodes, algorithm_name(algorithm),
+                  static_cast<unsigned long long>(
+                      result.metrics.extra_build_chunks),
+                  result.metrics.split_time,
+                  result.metrics.reshuffle_time());
+    }
+    comm.push_back(r_chunks);
+    fig4.add_row(std::to_string(nodes), comm);
+    fig5.add_row(std::to_string(nodes), {split_time, reshuffle_time});
+  }
+  fig4.print();
+  fig5.print();
+  return 0;
+}

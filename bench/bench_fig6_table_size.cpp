@@ -1,0 +1,46 @@
+// Figure 6: total execution time as |R| = |S| grows from 10M to 80M tuples
+// with 4 initial join nodes.
+//
+// Paper shape: split & hybrid scale better than replication (whose probe
+// broadcast grows with the expansion factor) and than Out-of-Core (whose
+// disk passes grow with the spill volume).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ehja;
+  using namespace ehja::bench;
+  const double scale = scale_from_args(argc, argv);
+  std::printf("== bench_fig6_table_size (scale=%.3g) ==\n", scale);
+
+  FigureTable fig6(
+      "Figure 6: Total execution time (s) vs table size (J=4, uniform)",
+      "table size", {"Replicated", "Split", "Hybrid", "OutOfCore"});
+
+  for (const std::uint64_t millions : {10ull, 20ull, 40ull, 80ull}) {
+    std::vector<double> total;
+    for (const Algorithm algorithm : kFigureAlgorithms) {
+      EhjaConfig config = paper_config(scale);
+      config.algorithm = algorithm;
+      config.build_rel.tuple_count =
+          static_cast<std::uint64_t>(static_cast<double>(millions) * 1e6 * scale);
+      config.probe_rel.tuple_count = config.build_rel.tuple_count;
+      const RunResult result = run(config);
+      total.push_back(result.metrics.total_time());
+      std::printf("  |R|=|S|=%-4lluM %-12s total=%8.2fs nodes=%u->%u "
+                  "extra=%llu chunks\n",
+                  static_cast<unsigned long long>(millions),
+                  algorithm_name(algorithm), result.metrics.total_time(),
+                  result.metrics.initial_join_nodes,
+                  result.metrics.final_join_nodes,
+                  static_cast<unsigned long long>(
+                      result.metrics.extra_build_chunks));
+    }
+    fig6.add_row(count_label(static_cast<std::uint64_t>(
+                     static_cast<double>(millions) * 1e6)),
+                 total);
+  }
+  fig6.print();
+  return 0;
+}

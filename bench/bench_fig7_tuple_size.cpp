@@ -1,0 +1,45 @@
+// Figure 7: total execution time as the tuple size grows (100/200/400 B)
+// with |R| = |S| = 10M tuples and 4 initial join nodes.
+//
+// Paper shape: the hybrid algorithm scales best, because a tuple's extra
+// communication happens at most once (in the reshuffle) and the probe phase
+// stays single-destination.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ehja;
+  using namespace ehja::bench;
+  const double scale = scale_from_args(argc, argv);
+  std::printf("== bench_fig7_tuple_size (scale=%.3g) ==\n", scale);
+
+  FigureTable fig7(
+      "Figure 7: Total execution time (s) vs tuple size (J=4, 10M tuples)",
+      "tuple size", {"Replicated", "Split", "Hybrid", "OutOfCore"});
+
+  for (const std::uint32_t bytes : {100u, 200u, 400u}) {
+    std::vector<double> total;
+    for (const Algorithm algorithm : kFigureAlgorithms) {
+      EhjaConfig config = paper_config(scale);
+      config.algorithm = algorithm;
+      config.build_rel.schema = Schema{bytes};
+      config.probe_rel.schema = Schema{bytes};
+      // Keep the cluster-provisioning ratio fixed as tuples grow (the
+      // paper's nodes do not spill in this sweep); see bench_common.hpp.
+      config.node_hash_memory_bytes =
+          calibrated_budget(config.build_rel, config.join_pool_nodes);
+      const RunResult result = run(config);
+      total.push_back(result.metrics.total_time());
+      std::printf("  %3uB %-12s total=%8.2fs nodes=%u->%u pool_exhausted=%d\n",
+                  bytes, algorithm_name(algorithm),
+                  result.metrics.total_time(),
+                  result.metrics.initial_join_nodes,
+                  result.metrics.final_join_nodes,
+                  result.metrics.pool_exhausted ? 1 : 0);
+    }
+    fig7.add_row(std::to_string(bytes) + "Byte", total);
+  }
+  fig7.print();
+  return 0;
+}

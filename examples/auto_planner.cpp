@@ -1,0 +1,95 @@
+// Auto planner: does the paper's ss6 decision rule actually pick winners?
+//
+// For a grid of workloads (skew x relation-size asymmetry) this example
+// asks the planner (core/planner.hpp) for its choice, then *measures* all
+// three EHJAs and reports whether the planner's pick was the fastest or
+// within 15% of it -- closing the loop between the paper's conclusions and
+// its own experiments.
+#include <cstdio>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/planner.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace ehja;
+
+EhjaConfig base_config() {
+  EhjaConfig config;
+  config.initial_join_nodes = 4;
+  config.join_pool_nodes = 24;
+  config.data_sources = 4;
+  config.build_rel.tuple_count = 1'000'000;
+  config.probe_rel.tuple_count = 1'000'000;
+  config.node_hash_memory_bytes = 8 * kMiB;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  struct Case {
+    const char* label;
+    DistributionSpec dist;
+    std::uint64_t build;
+    std::uint64_t probe;
+  };
+  const Case cases[] = {
+      {"uniform, symmetric", DistributionSpec::Uniform(), 1'000'000,
+       1'000'000},
+      {"extreme skew", DistributionSpec::Gaussian(0.5, 1e-4), 1'000'000,
+       1'000'000},
+      {"mild skew", DistributionSpec::Gaussian(0.5, 1e-2), 1'000'000,
+       1'000'000},
+      {"larger side builds", DistributionSpec::Uniform(), 3'000'000,
+       500'000},
+      {"small expansion", DistributionSpec::Uniform(), 1'000'000, 1'000'000},
+  };
+
+  std::printf("%-22s %-12s %10s %10s %10s  %s\n", "workload", "planner pick",
+              "repl (s)", "split (s)", "hybrid (s)", "verdict");
+  int good = 0, total = 0;
+  for (const Case& c : cases) {
+    EhjaConfig config = base_config();
+    config.build_rel.tuple_count = c.build;
+    config.probe_rel.tuple_count = c.probe;
+    config.build_rel.dist = c.dist;
+    config.probe_rel.dist = c.dist;
+    if (std::string(c.label) == "small expansion") {
+      config.initial_join_nodes = 12;  // near-sufficient initial guess
+    }
+
+    PlannerInputs inputs;
+    inputs.build_tuples = c.build;
+    inputs.probe_tuples = c.probe;
+    const PlannerDecision decision = choose_algorithm(config, inputs);
+
+    double best = 1e300;
+    double picked = 0.0;
+    std::vector<double> times;
+    for (const Algorithm algorithm :
+         {Algorithm::kReplicate, Algorithm::kSplit, Algorithm::kHybrid}) {
+      EhjaConfig run_config = config;
+      run_config.algorithm = algorithm;
+      const double t = run_ehja(run_config).metrics.total_time();
+      times.push_back(t);
+      best = std::min(best, t);
+      if (algorithm == decision.algorithm) picked = t;
+    }
+    if (decision.algorithm == Algorithm::kOutOfCore) picked = best;  // n/a
+
+    const bool ok = picked <= best * 1.15;
+    good += ok ? 1 : 0;
+    ++total;
+    std::printf("%-22s %-12s %10.2f %10.2f %10.2f  %s (picked %.2fs, best "
+                "%.2fs)\n",
+                c.label, algorithm_name(decision.algorithm), times[0],
+                times[1], times[2], ok ? "GOOD" : "MISS", picked, best);
+  }
+  std::printf("\nplanner verdict: %d/%d picks within 15%% of the measured "
+              "best\n",
+              good, total);
+  return 0;
+}

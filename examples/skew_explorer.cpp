@@ -1,0 +1,91 @@
+// Skew explorer: which expansion strategy should a query planner pick?
+//
+// Sweeps the join-attribute distribution from uniform through increasingly
+// extreme Gaussian range-skew (plus a Zipf value-skew case), runs all three
+// EHJAs on each, and prints a planner-style recommendation -- reproducing
+// the paper's decision rule: "the replication-based algorithm should be
+// preferred ... if the distribution of the join attribute values is highly
+// skewed ... otherwise the split-based algorithm achieves better
+// performance; the hybrid algorithm generally performs close to the better
+// of the two."
+#include <cstdio>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+struct Outcome {
+  ehja::Algorithm algorithm;
+  double total = 0.0;
+  double max_load_chunks = 0.0;
+};
+
+Outcome run_one(ehja::Algorithm algorithm, const ehja::DistributionSpec& dist) {
+  using namespace ehja;
+  EhjaConfig config;
+  config.algorithm = algorithm;
+  config.initial_join_nodes = 4;
+  config.join_pool_nodes = 24;
+  config.data_sources = 4;
+  config.build_rel.tuple_count = 1'000'000;
+  config.probe_rel.tuple_count = 1'000'000;
+  config.build_rel.dist = dist;
+  config.probe_rel.dist = dist;
+  config.node_hash_memory_bytes = 8 * kMiB;
+  const RunResult result = run_ehja(config);
+  Outcome outcome;
+  outcome.algorithm = algorithm;
+  outcome.total = result.metrics.total_time();
+  for (const double load : result.metrics.load_chunks(config.chunk_tuples)) {
+    outcome.max_load_chunks = std::max(outcome.max_load_chunks, load);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ehja;
+  struct Case {
+    const char* label;
+    DistributionSpec dist;
+  };
+  const Case cases[] = {
+      {"uniform", DistributionSpec::Uniform()},
+      {"gaussian sigma=1e-2", DistributionSpec::Gaussian(0.5, 1e-2)},
+      {"gaussian sigma=1e-3", DistributionSpec::Gaussian(0.5, 1e-3)},
+      {"gaussian sigma=1e-4", DistributionSpec::Gaussian(0.5, 1e-4)},
+      {"zipf s=1.1", DistributionSpec::Zipf(1.1, 1 << 16)},
+  };
+
+  std::printf("%-22s %12s %12s %12s   %s\n", "distribution", "replicated(s)",
+              "split(s)", "hybrid(s)", "recommendation");
+  for (const Case& c : cases) {
+    std::vector<Outcome> outcomes;
+    for (const Algorithm algorithm :
+         {Algorithm::kReplicate, Algorithm::kSplit, Algorithm::kHybrid}) {
+      outcomes.push_back(run_one(algorithm, c.dist));
+    }
+    const Outcome* best = &outcomes[0];
+    for (const Outcome& o : outcomes) {
+      if (o.total < best->total) best = &o;
+    }
+    // The planner's rule of thumb: hybrid unless another strategy wins by a
+    // clear margin (>10%).
+    const char* pick = algorithm_name(Algorithm::kHybrid);
+    for (const Outcome& o : outcomes) {
+      if (o.algorithm != Algorithm::kHybrid &&
+          o.total * 1.10 < outcomes[2].total) {
+        pick = algorithm_name(best->algorithm);
+      }
+    }
+    std::printf("%-22s %12.2f %12.2f %12.2f   use %s\n", c.label,
+                outcomes[0].total, outcomes[1].total, outcomes[2].total,
+                pick);
+  }
+  std::printf("\n(max-load imbalance under the last distribution: "
+              "see bench_fig12_13_load_balance for the full series)\n");
+  return 0;
+}

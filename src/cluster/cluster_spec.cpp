@@ -1,0 +1,24 @@
+#include "cluster/cluster_spec.hpp"
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+const NodeSpec& ClusterSpec::node(NodeId id) const {
+  EHJA_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes.size());
+  return nodes[static_cast<std::size_t>(id)];
+}
+
+ClusterSpec make_uniform_cluster(std::size_t n,
+                                 std::uint64_t hash_memory_bytes) {
+  EHJA_CHECK(n > 0);
+  ClusterSpec spec;
+  spec.nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    spec.nodes.push_back(NodeSpec{static_cast<NodeId>(i), hash_memory_bytes,
+                                  /*cpu_scale=*/1.0});
+  }
+  return spec;
+}
+
+}  // namespace ehja

@@ -1,0 +1,39 @@
+// Static description of the simulated cluster.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "net/network.hpp"
+#include "util/units.hpp"
+
+namespace ehja {
+
+struct NodeSpec {
+  NodeId id = -1;
+  /// Bytes of memory this node may devote to hash-table state.  The paper's
+  /// nodes have 512 MB of RAM; the experiments cap the join's share so that
+  /// 16 nodes exactly hold the 10 M x 100 B table (see DESIGN.md ss4).
+  std::uint64_t hash_memory_bytes = 80 * kMiB;
+  /// Relative CPU speed (1.0 = reference Pentium III 933 MHz).
+  double cpu_scale = 1.0;
+};
+
+struct ClusterSpec {
+  std::vector<NodeSpec> nodes;
+  LinkConfig link;
+  CostModel cost;
+  DiskConfig disk;
+
+  std::size_t node_count() const { return nodes.size(); }
+  const NodeSpec& node(NodeId id) const;
+};
+
+/// A homogeneous cluster of `n` nodes, mirroring OSUMed's 24 compute nodes
+/// plus one front-end (node 0 hosts the scheduler by convention in the
+/// driver, but nothing in the spec enforces placement).
+ClusterSpec make_uniform_cluster(std::size_t n,
+                                 std::uint64_t hash_memory_bytes = 80 * kMiB);
+
+}  // namespace ehja

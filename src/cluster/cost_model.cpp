@@ -1,0 +1,4 @@
+#include "cluster/cost_model.hpp"
+
+// CostModel and DiskConfig are aggregates; this translation unit exists so
+// the module owns a .cpp (and future non-inline helpers have a home).

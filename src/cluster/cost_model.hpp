@@ -1,0 +1,58 @@
+// Cost model for the simulated cluster.
+//
+// Calibrated to the paper's testbed (OSUMed: Pentium III 933 MHz, 512 MB
+// RAM, switched Ethernet, local IDE disks).  Absolute figures are
+// not expected to match the 2004 measurements -- the goal is that the
+// relative costs (network-dominated joins, disk an order of magnitude
+// slower than memory, CPU second-order) reproduce the paper's *shapes*.
+// Every constant is a plain member so benches can sweep them (ablation A2
+// in DESIGN.md ss4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ehja {
+
+struct CostModel {
+  // --- CPU, seconds per tuple (933 MHz-era implementation) ---
+  /// Generate one synthetic tuple at a data source (RNG + buffer append).
+  double tuple_generate_sec = 120e-9;
+  /// Hash + chain-insert one tuple into the local hash table.
+  double tuple_insert_sec = 250e-9;
+  /// Hash + chain-walk for one probe tuple (excluding per-candidate cost).
+  double tuple_probe_sec = 180e-9;
+  /// Compare join attributes with one hash-chain candidate.
+  double tuple_compare_sec = 25e-9;
+  /// Emit one matching output pair (copy to the output buffer).
+  double match_emit_sec = 60e-9;
+  /// Per-tuple cost of packing/unpacking a network chunk.
+  double tuple_pack_sec = 40e-9;
+  /// Fixed cost of handling any control message.
+  double control_handle_sec = 5e-6;
+
+  /// Multiplier applied to all CPU costs of a node (NodeSpec::cpu_scale
+  /// composes with this); 1.0 = the P3-933 reference machine.
+  double cpu_scale = 1.0;
+
+  double scaled(double sec) const { return sec * cpu_scale; }
+};
+
+struct DiskConfig {
+  /// Effective write bandwidth, bytes/second: a 2004 IDE disk moved
+  /// ~30-35 MB/s sequentially, minus filesystem overhead.  With the
+  /// gigabit-class interconnect this makes the disk ~4x slower than the
+  /// network -- the ratio that produces the paper's OOC-vs-EHJA gap.
+  double write_bytes_per_sec = 26e6;
+  /// Effective read bandwidth, bytes/second (phase-3 reads alternate
+  /// between an R and an S partition file).
+  double read_bytes_per_sec = 30e6;
+  /// Average seek + rotational latency charged when switching between
+  /// partitions/files, seconds.
+  double seek_sec = 8e-3;
+  /// Runs are written through a buffer of this size; a seek is charged per
+  /// buffer flush when multiple partitions interleave.
+  std::size_t io_buffer_bytes = 1u << 20;
+};
+
+}  // namespace ehja

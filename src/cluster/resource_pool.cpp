@@ -1,0 +1,65 @@
+#include "cluster/resource_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+ResourcePool::ResourcePool(const ClusterSpec& spec,
+                           std::vector<NodeId> potential,
+                           NodePickPolicy policy)
+    : spec_(&spec), potential_(std::move(potential)), policy_(policy) {
+  for (NodeId id : potential_) {
+    EHJA_CHECK(id >= 0 && static_cast<std::size_t>(id) < spec.node_count());
+  }
+}
+
+std::optional<NodeId> ResourcePool::acquire() {
+  if (potential_.empty()) return std::nullopt;
+  std::size_t pick = 0;
+  switch (policy_) {
+    case NodePickPolicy::kLargestFreeMemory: {
+      // All pool nodes are idle, so "available memory" is the node's
+      // hash-memory capacity; ties break toward the lower node id for
+      // determinism.
+      for (std::size_t i = 1; i < potential_.size(); ++i) {
+        const auto& best = spec_->node(potential_[pick]);
+        const auto& cand = spec_->node(potential_[i]);
+        if (cand.hash_memory_bytes > best.hash_memory_bytes ||
+            (cand.hash_memory_bytes == best.hash_memory_bytes &&
+             potential_[i] < potential_[pick])) {
+          pick = i;
+        }
+      }
+      break;
+    }
+    case NodePickPolicy::kFirstAvailable: {
+      for (std::size_t i = 1; i < potential_.size(); ++i) {
+        if (potential_[i] < potential_[pick]) pick = i;
+      }
+      break;
+    }
+    case NodePickPolicy::kRoundRobin: {
+      // Acquisition order cycles through the pool in insertion order; with
+      // no releases this degenerates to FIFO, which is the intent.
+      pick = 0;
+      ++rr_cursor_;
+      break;
+    }
+  }
+  const NodeId chosen = potential_[pick];
+  potential_.erase(potential_.begin() + static_cast<std::ptrdiff_t>(pick));
+  ++acquired_;
+  return chosen;
+}
+
+void ResourcePool::release(NodeId node) {
+  EHJA_CHECK(std::find(potential_.begin(), potential_.end(), node) ==
+             potential_.end());
+  potential_.push_back(node);
+  EHJA_CHECK(acquired_ > 0);
+  --acquired_;
+}
+
+}  // namespace ehja

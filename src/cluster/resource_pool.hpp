@@ -1,0 +1,47 @@
+// Pool of potential join nodes.
+//
+// The scheduler draws a new node from this pool whenever a working join node
+// reports memory full.  The paper's policy: "the node with the largest
+// amount of available memory is selected" (ss4.1.1).  Alternative policies
+// are provided for the initial-node-selection ablation the paper defers to
+// future work.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+
+namespace ehja {
+
+enum class NodePickPolicy {
+  kLargestFreeMemory,  // the paper's policy
+  kFirstAvailable,     // lowest node id first
+  kRoundRobin,         // cycle through the pool
+};
+
+class ResourcePool {
+ public:
+  ResourcePool(const ClusterSpec& spec, std::vector<NodeId> potential,
+               NodePickPolicy policy = NodePickPolicy::kLargestFreeMemory);
+
+  /// Remove and return the next node per the policy; nullopt when empty.
+  std::optional<NodeId> acquire();
+
+  /// Return a node to the pool (used when an expansion is aborted).
+  void release(NodeId node);
+
+  std::size_t available() const { return potential_.size(); }
+  std::size_t acquired_count() const { return acquired_; }
+  NodePickPolicy policy() const { return policy_; }
+
+ private:
+  const ClusterSpec* spec_;
+  std::vector<NodeId> potential_;
+  NodePickPolicy policy_;
+  std::size_t acquired_ = 0;
+  std::size_t rr_cursor_ = 0;
+};
+
+}  // namespace ehja

@@ -1,0 +1,63 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+const char* split_variant_name(SplitVariant variant) {
+  switch (variant) {
+    case SplitVariant::kRequesterMidpoint: return "requester-midpoint";
+    case SplitVariant::kLinearPointer: return "linear-pointer";
+  }
+  return "?";
+}
+
+const char* algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kSplit: return "split";
+    case Algorithm::kReplicate: return "replicated";
+    case Algorithm::kHybrid: return "hybrid";
+    case Algorithm::kOutOfCore: return "out-of-core";
+  }
+  return "?";
+}
+
+void EhjaConfig::validate() const {
+  EHJA_CHECK(initial_join_nodes >= 1);
+  EHJA_CHECK_MSG(initial_join_nodes <= join_pool_nodes,
+                 "initial join nodes exceed the pool");
+  EHJA_CHECK(data_sources >= 1);
+  EHJA_CHECK(chunk_tuples >= 1);
+  EHJA_CHECK(generation_slice_tuples >= 1);
+  EHJA_CHECK(build_rel.tuple_count >= 1);
+  EHJA_CHECK(build_rel.schema.tuple_bytes >= 16);
+  EHJA_CHECK(probe_rel.schema.tuple_bytes >= 16);
+  EHJA_CHECK(node_hash_memory_bytes >= tuple_footprint(build_rel.schema));
+  EHJA_CHECK(reshuffle_bins >= join_pool_nodes);
+  EHJA_CHECK(spill_fanout >= 1);
+}
+
+std::string EhjaConfig::to_string() const {
+  std::ostringstream os;
+  os << algorithm_name(algorithm) << " J=" << initial_join_nodes
+     << " pool=" << join_pool_nodes << " sources=" << data_sources
+     << " |R|=" << build_rel.tuple_count << " |S|=" << probe_rel.tuple_count
+     << " tuple=" << build_rel.schema.tuple_bytes << "B"
+     << " mem=" << node_hash_memory_bytes / kMiB << "MiB"
+     << " dist=" << build_rel.dist.to_string();
+  return os.str();
+}
+
+ClusterSpec make_cluster(const EhjaConfig& config) {
+  config.validate();
+  ClusterSpec spec = make_uniform_cluster(config.total_nodes(),
+                                          config.node_hash_memory_bytes);
+  spec.link = config.link;
+  spec.cost = config.cost;
+  spec.disk = config.disk;
+  return spec;
+}
+
+}  // namespace ehja

@@ -1,0 +1,127 @@
+// Run configuration for the Expanding Hash-based Join Algorithms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster_spec.hpp"
+#include "cluster/resource_pool.hpp"
+#include "hash/hash_family.hpp"
+#include "trace/trace.hpp"
+#include "workload/generator.hpp"
+
+namespace ehja {
+
+/// The four algorithms of the paper's evaluation (ss5): the three EHJAs plus
+/// the non-expanding out-of-core baseline.
+enum class Algorithm : std::uint8_t {
+  kSplit,      // ss4.2.1, linear hashing across nodes
+  kReplicate,  // ss4.2.2, replicate the overflowed range
+  kHybrid,     // ss4.2.3, replicate then reshuffle
+  kOutOfCore,  // baseline: spill to local disk, never expand
+};
+
+const char* algorithm_name(Algorithm algorithm);
+
+/// Which bucket the split-based algorithm splits on overflow.  The paper
+/// describes both: ss1 says the algorithm "partitions the hash table range
+/// assigned to the node, on which memory is full", while ss4.2.1's Litwin
+/// linear-hashing machinery splits the bucket at the *split pointer*
+/// regardless of who overflowed.  Only the requester-directed variant
+/// reproduces the paper's measured skew behaviour (repeated migration of
+/// the hot range, Fig. 11's communication blow-up, Fig. 13's imbalance);
+/// the pointer variant is kept for the ablation bench.
+enum class SplitVariant : std::uint8_t {
+  kRequesterMidpoint,  // split the overflowing node's range at its midpoint
+  kLinearPointer,      // classic Litwin: split the bucket at the pointer
+};
+
+const char* split_variant_name(SplitVariant variant);
+
+struct EhjaConfig {
+  Algorithm algorithm = Algorithm::kHybrid;
+
+  /// Initial working join nodes (paper sweeps 1..16; default 4).
+  std::uint32_t initial_join_nodes = 4;
+  /// Join-node pool size, initial nodes included (OSUMed: 24 compute nodes).
+  std::uint32_t join_pool_nodes = 24;
+  /// Data source processes, each on its own node.
+  std::uint32_t data_sources = 4;
+  /// Per-node hash-table memory budget.  80 MiB makes 16 nodes exactly
+  /// sufficient for the paper's base 10 M x 100 B workload (DESIGN.md ss4).
+  std::uint64_t node_hash_memory_bytes = 80 * kMiB;
+
+  /// Relations.  build_rel is hashed (paper: usually the smaller); probe_rel
+  /// streams against it.
+  RelationSpec build_rel{RelTag::kR, 10'000'000, Schema{100},
+                         DistributionSpec::Uniform()};
+  RelationSpec probe_rel{RelTag::kS, 10'000'000, Schema{100},
+                         DistributionSpec::Uniform()};
+
+  /// Transport chunk capacity (paper: 10 000 tuples).
+  std::uint32_t chunk_tuples = 10'000;
+  /// Tuples a data source generates per scheduling quantum; bounds how stale
+  /// a source's partition map can get.
+  std::uint32_t generation_slice_tuples = 10'000;
+
+  std::uint64_t seed = 20040607;  // HPDC'04 conference date
+
+  /// Reshuffle histogram resolution (bins per replicated range).  The paper
+  /// sums *per-position* entry counts ("each node counts the number of
+  /// elements at each hash table position"), so the default is effectively
+  /// one bin per position (BinnedHistogram clamps to the range width);
+  /// coarser settings trade reshuffle-balance quality for histogram
+  /// bandwidth -- under extreme skew a coarse bin can become an indivisible
+  /// hot unit (see EXPERIMENTS.md).
+  std::size_t reshuffle_bins = kPositionCount;
+  /// Sub-partitions per node for out-of-core spilling.
+  std::size_t spill_fanout = 16;
+
+  NodePickPolicy pick_policy = NodePickPolicy::kLargestFreeMemory;
+  SplitVariant split_variant = SplitVariant::kRequesterMidpoint;
+
+  /// Histogram-balanced initial partitioning (extension; the ss3 related
+  /// work's frequency-based redistribution idea applied *up front*): the
+  /// scheduler samples the build distribution and cuts the initial ranges
+  /// with the greedy partitioner instead of equal widths, so skewed
+  /// workloads start closer to balance and expand less.  The paper's own
+  /// algorithms always start from equal ranges (the default).
+  bool balanced_initial_partition = false;
+  /// Sample size for the initial-partition histogram (the paper's intro
+  /// notes sampling costs real work; it is charged to the scheduler node).
+  std::uint64_t partition_sample = 100'000;
+
+  /// Optional run tracing (non-owning; must outlive the run).  When set,
+  /// the scheduler and join processes emit phase transitions, expansions,
+  /// memory samples and spill events -- see trace/trace.hpp.
+  TraceSink* trace = nullptr;
+
+  /// Hardware model knobs (ablation benches sweep these).
+  LinkConfig link;
+  CostModel cost;
+  DiskConfig disk;
+
+  // --- derived layout: node 0 = scheduler/front-end, then sources, then
+  // the join pool ---
+  std::size_t total_nodes() const {
+    return 1 + data_sources + join_pool_nodes;
+  }
+  NodeId scheduler_node() const { return 0; }
+  NodeId source_node(std::uint32_t i) const {
+    return static_cast<NodeId>(1 + i);
+  }
+  NodeId pool_node(std::uint32_t i) const {
+    return static_cast<NodeId>(1 + data_sources + i);
+  }
+
+  /// Sanity-check the configuration; aborts on nonsense (zero sources,
+  /// initial nodes exceeding the pool, chunk of zero tuples, ...).
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+/// The ClusterSpec this configuration induces.
+ClusterSpec make_cluster(const EhjaConfig& config);
+
+}  // namespace ehja

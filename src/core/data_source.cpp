@@ -1,0 +1,147 @@
+#include "core/data_source.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace ehja {
+
+DataSourceActor::DataSourceActor(std::shared_ptr<const EhjaConfig> config,
+                                 std::uint32_t source_index, ActorId scheduler)
+    : config_(std::move(config)),
+      source_index_(source_index),
+      scheduler_(scheduler) {}
+
+std::string DataSourceActor::name() const {
+  std::ostringstream os;
+  os << "source[" << source_index_ << "]";
+  return os.str();
+}
+
+const RelationSpec& DataSourceActor::active_spec() const {
+  return phase_ == Phase::kBuild ? config_->build_rel : config_->probe_rel;
+}
+
+void DataSourceActor::on_message(const Message& msg) {
+  switch (static_cast<Tag>(msg.tag)) {
+    case Tag::kStartBuild: {
+      charge(config_->cost.control_handle_sec);
+      phase_ = Phase::kBuild;
+      start_relation(config_->build_rel.tag, msg.as<StartBuildPayload>().map);
+      break;
+    }
+    case Tag::kStartProbe: {
+      charge(config_->cost.control_handle_sec);
+      phase_ = Phase::kProbe;
+      start_relation(config_->probe_rel.tag, msg.as<StartProbePayload>().map);
+      break;
+    }
+    case Tag::kMapUpdate: {
+      charge(config_->cost.control_handle_sec);
+      const auto& update = msg.as<MapUpdatePayload>();
+      if (update.version > map_version_) {
+        map_version_ = update.version;
+        map_ = update.map;
+      }
+      break;
+    }
+    case Tag::kGenSlice: {
+      generate_slice();
+      break;
+    }
+    default:
+      EHJA_CHECK_MSG(false, "data source received unexpected tag");
+  }
+}
+
+void DataSourceActor::start_relation(RelTag /*rel*/, const PartitionMap& map) {
+  map_ = map;
+  // A phase-start map is authoritative; later kMapUpdate versions continue
+  // from wherever the build left off.
+  stream_.emplace(active_spec(), config_->seed, source_index_,
+                  config_->data_sources);
+  tuples_sent_ = 0;
+  defer(make_signal(Tag::kGenSlice));
+}
+
+void DataSourceActor::generate_slice() {
+  EHJA_CHECK(phase_ == Phase::kBuild || phase_ == Phase::kProbe);
+  const RelTag rel = active_spec().tag;
+  Tuple t;
+  std::uint32_t produced = 0;
+  while (produced < config_->generation_slice_tuples && stream_->next(t)) {
+    route(t, rel);
+    ++produced;
+  }
+  charge(static_cast<double>(produced) * config_->cost.tuple_generate_sec);
+
+  if (stream_->remaining() > 0) {
+    defer(make_signal(Tag::kGenSlice));
+    return;
+  }
+  flush_all();
+  SourceDonePayload done;
+  done.rel = rel;
+  done.chunks_sent = rel == RelTag::kR ? build_chunks_ : probe_chunks_;
+  done.tuples_sent = tuples_sent_;
+  send(scheduler_, make_message(Tag::kSourceDone, done, kControlWireBytes));
+  phase_ = phase_ == Phase::kBuild ? Phase::kIdle : Phase::kDone;
+  EHJA_DEBUG(name(), "finished ", rel_name(rel), ": ", done.chunks_sent,
+             " chunks, ", done.tuples_sent, " tuples");
+}
+
+void DataSourceActor::route(const Tuple& t, RelTag rel) {
+  const auto& entry = map_.entry_for(position_of(t.key));
+  if (phase_ == Phase::kBuild) {
+    buffer_tuple(entry.active_owner(), t, rel);
+  } else {
+    // Probe: replicated ranges receive every probe tuple on all replicas.
+    for (ActorId owner : entry.owners) {
+      buffer_tuple(owner, t, rel);
+    }
+  }
+}
+
+void DataSourceActor::buffer_tuple(ActorId to, const Tuple& t, RelTag rel) {
+  Chunk& buffer = buffers_[to];
+  if (buffer.tuples.empty()) {
+    buffer.rel = rel;
+    buffer.tuples.reserve(config_->chunk_tuples);
+  }
+  EHJA_CHECK_MSG(buffer.rel == rel, "mixed-relation buffer");
+  buffer.tuples.push_back(t);
+  if (buffer.tuples.size() >= config_->chunk_tuples) {
+    flush(to);
+  }
+}
+
+void DataSourceActor::flush(ActorId to) {
+  auto it = buffers_.find(to);
+  if (it == buffers_.end() || it->second.empty()) return;
+  Chunk& buffer = it->second;
+  const std::size_t n = buffer.tuples.size();
+  charge(static_cast<double>(n) * config_->cost.tuple_pack_sec);
+  tuples_sent_ += n;
+  if (buffer.rel == RelTag::kR) {
+    ++build_chunks_;
+  } else {
+    ++probe_chunks_;
+  }
+  ChunkPayload payload;
+  payload.chunk = std::move(buffer);
+  payload.forwarded = false;
+  const std::size_t wire =
+      chunk_wire_bytes(payload.chunk, active_spec().schema);
+  buffers_.erase(it);
+  send(to, make_message(Tag::kDataChunk, std::move(payload), wire));
+}
+
+void DataSourceActor::flush_all() {
+  // std::map iteration order makes the flush sequence deterministic.
+  while (!buffers_.empty()) {
+    flush(buffers_.begin()->first);
+  }
+}
+
+}  // namespace ehja

@@ -1,0 +1,67 @@
+// Data source actor (paper ss4.1.2).
+//
+// Generates its slice of relations R and S on the fly, keeps one buffer per
+// join process, and flushes a buffer as a chunk when it fills.  Generation
+// proceeds in slices via self-messages so scheduler broadcasts (new join
+// node announcements) interleave with generation -- the paper's window in
+// which sources keep sending to an already-full node is exactly the map
+// staleness this models.
+//
+// Routing: a tuple goes to the *active* owner of its position's range
+// during the build, and to *every* owner during the probe (the
+// replication-based algorithm's probe broadcast).  Buffers are keyed by the
+// destination actor, so a buffer partially filled before a map update still
+// goes to the old owner, which forwards it -- matching the paper's pending-
+// buffer semantics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "runtime/actor.hpp"
+#include "workload/generator.hpp"
+
+namespace ehja {
+
+class DataSourceActor final : public Actor {
+ public:
+  DataSourceActor(std::shared_ptr<const EhjaConfig> config,
+                  std::uint32_t source_index, ActorId scheduler);
+
+  void on_message(const Message& msg) override;
+  std::string name() const override;
+
+  std::uint64_t build_chunks_sent() const { return build_chunks_; }
+  std::uint64_t probe_chunks_sent() const { return probe_chunks_; }
+
+ private:
+  enum class Phase { kIdle, kBuild, kProbe, kDone };
+
+  void start_relation(RelTag rel, const PartitionMap& map);
+  void generate_slice();
+  void route(const Tuple& t, RelTag rel);
+  void buffer_tuple(ActorId to, const Tuple& t, RelTag rel);
+  void flush(ActorId to);
+  void flush_all();
+  const RelationSpec& active_spec() const;
+
+  std::shared_ptr<const EhjaConfig> config_;
+  std::uint32_t source_index_;
+  ActorId scheduler_;
+
+  Phase phase_ = Phase::kIdle;
+  PartitionMap map_;
+  std::uint64_t map_version_ = 0;
+  std::optional<TupleStream> stream_;
+  std::map<ActorId, Chunk> buffers_;
+
+  std::uint64_t build_chunks_ = 0;
+  std::uint64_t probe_chunks_ = 0;
+  std::uint64_t tuples_sent_ = 0;
+};
+
+}  // namespace ehja

@@ -1,0 +1,93 @@
+#include "core/driver.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/data_source.hpp"
+#include "core/join_process.hpp"
+#include "core/scheduler.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "util/assert.hpp"
+#include "workload/generator.hpp"
+
+namespace ehja {
+
+namespace {
+
+std::unique_ptr<Runtime> make_runtime(RuntimeKind kind, ClusterSpec spec) {
+  switch (kind) {
+    case RuntimeKind::kSim:
+      return std::make_unique<SimRuntime>(std::move(spec));
+    case RuntimeKind::kThread:
+      return std::make_unique<ThreadRuntime>(std::move(spec));
+  }
+  EHJA_CHECK_MSG(false, "unreachable: bad RuntimeKind");
+  return nullptr;
+}
+
+}  // namespace
+
+RunResult run_ehja(const EhjaConfig& config, RuntimeKind kind) {
+  config.validate();
+  auto cfg = std::make_shared<const EhjaConfig>(config);
+  std::unique_ptr<Runtime> runtime = make_runtime(kind, make_cluster(config));
+  Runtime* rt = runtime.get();
+
+  // The scheduler instantiates join processes on demand through this hook
+  // ("a join process on node w is instantiated", paper ss4.1.1).
+  auto scheduler_id = std::make_shared<ActorId>(kInvalidActor);
+  auto spawn_join = [rt, cfg, scheduler_id](NodeId node) {
+    return rt->spawn(node,
+                     std::make_unique<JoinProcessActor>(cfg, *scheduler_id));
+  };
+
+  auto scheduler = std::make_unique<SchedulerActor>(cfg, spawn_join);
+  SchedulerActor* scheduler_raw = scheduler.get();
+  *scheduler_id = rt->spawn(cfg->scheduler_node(), std::move(scheduler));
+
+  std::vector<ActorId> sources;
+  sources.reserve(cfg->data_sources);
+  for (std::uint32_t i = 0; i < cfg->data_sources; ++i) {
+    sources.push_back(rt->spawn(
+        cfg->source_node(i),
+        std::make_unique<DataSourceActor>(cfg, i, *scheduler_id)));
+  }
+
+  std::vector<ActorId> initial_joins;
+  initial_joins.reserve(cfg->initial_join_nodes);
+  for (std::uint32_t j = 0; j < cfg->initial_join_nodes; ++j) {
+    initial_joins.push_back(spawn_join(cfg->pool_node(j)));
+  }
+
+  std::vector<NodeId> potential;
+  potential.reserve(cfg->join_pool_nodes - cfg->initial_join_nodes);
+  for (std::uint32_t j = cfg->initial_join_nodes; j < cfg->join_pool_nodes;
+       ++j) {
+    potential.push_back(cfg->pool_node(j));
+  }
+  ResourcePool pool(rt->cluster(), std::move(potential), cfg->pick_policy);
+
+  scheduler_raw->wire(std::move(sources), std::move(initial_joins),
+                      std::move(pool));
+
+  rt->run();
+
+  EHJA_CHECK_MSG(scheduler_raw->finished(),
+                 "runtime stopped before the join completed");
+  RunResult result;
+  result.metrics = scheduler_raw->metrics();
+  result.runtime = kind;
+  return result;
+}
+
+JoinResult reference_join(const EhjaConfig& config) {
+  const Relation build =
+      materialize(config.build_rel, config.seed, config.data_sources);
+  const Relation probe =
+      materialize(config.probe_rel, config.seed, config.data_sources);
+  return serial_hash_join(build, probe);
+}
+
+}  // namespace ehja

@@ -1,0 +1,41 @@
+// One-call entry point: configure, wire, run, collect.
+//
+// This is the library's main public API.  Quickstart:
+//
+//   ehja::EhjaConfig config;
+//   config.algorithm = ehja::Algorithm::kHybrid;
+//   config.initial_join_nodes = 4;
+//   config.build_rel.tuple_count = 10'000'000;
+//   config.probe_rel.tuple_count = 10'000'000;
+//   ehja::RunResult result = ehja::run_ehja(config);
+//   std::cout << result.metrics.total_time() << " virtual seconds\n";
+#pragma once
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "join/serial_join.hpp"
+
+namespace ehja {
+
+enum class RuntimeKind {
+  kSim,     // deterministic discrete-event runtime (virtual time; figures)
+  kThread,  // real threads (no timing model; protocol stress testing)
+};
+
+struct RunResult {
+  RunMetrics metrics;
+  RuntimeKind runtime = RuntimeKind::kSim;
+
+  const JoinResult& join() const { return metrics.join; }
+};
+
+/// Execute one distributed join per `config` and return its metrics.
+RunResult run_ehja(const EhjaConfig& config,
+                   RuntimeKind kind = RuntimeKind::kSim);
+
+/// The serial oracle: materialize both relations exactly as the configured
+/// data sources would generate them and join them with Algorithm 1.  Every
+/// run_ehja() with the same config must produce an identical JoinResult.
+JoinResult reference_join(const EhjaConfig& config);
+
+}  // namespace ehja

@@ -1,0 +1,371 @@
+#include "core/join_process.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace ehja {
+
+JoinProcessActor::JoinProcessActor(std::shared_ptr<const EhjaConfig> config,
+                                   ActorId scheduler)
+    : config_(std::move(config)), scheduler_(scheduler), disk_(config_->disk) {}
+
+std::string JoinProcessActor::name() const {
+  std::ostringstream os;
+  os << "join[" << id() << "]";
+  return os.str();
+}
+
+std::uint64_t JoinProcessActor::budget() const {
+  return rt().cluster().node(node()).hash_memory_bytes;
+}
+
+std::uint64_t JoinProcessActor::build_tuples_held() const {
+  std::uint64_t held = table_ ? table_->tuple_count() : 0;
+  if (spiller_) held += spiller_->build_tuples();
+  return held;
+}
+
+void JoinProcessActor::on_message(const Message& msg) {
+  switch (static_cast<Tag>(msg.tag)) {
+    case Tag::kJoinInit:
+      charge(config_->cost.control_handle_sec);
+      handle_init(msg.as<JoinInitPayload>());
+      break;
+    case Tag::kDataChunk:
+      handle_chunk(msg.as<ChunkPayload>());
+      break;
+    case Tag::kForwardEnd: {
+      charge(config_->cost.control_handle_sec);
+      const auto& end = msg.as<ForwardEndPayload>();
+      if (end.op_id != 0) {
+        OpCompletePayload done;
+        done.op_id = end.op_id;
+        done.tuples_received = build_tuples_held();
+        send(scheduler_, make_message(Tag::kOpComplete, done,
+                                      kControlWireBytes));
+      }
+      break;
+    }
+    case Tag::kSplitRequest:
+      handle_split_request(msg.as<SplitRequestPayload>());
+      break;
+    case Tag::kHandoffStart:
+      charge(config_->cost.control_handle_sec);
+      handle_handoff(msg.as<HandoffStartPayload>());
+      break;
+    case Tag::kRelief:
+      charge(config_->cost.control_handle_sec);
+      memory_request_pending_ = false;
+      break;
+    case Tag::kSwitchToSpill:
+      charge(config_->cost.control_handle_sec);
+      enter_spill_mode();
+      break;
+    case Tag::kDrainProbe: {
+      charge(config_->cost.control_handle_sec);
+      DrainAckPayload ack;
+      ack.epoch = msg.as<DrainProbePayload>().epoch;
+      ack.data_chunks_received = chunks_received_;
+      ack.data_chunks_forwarded = chunks_forwarded_;
+      send(scheduler_, make_message(Tag::kDrainAck, ack, kControlWireBytes));
+      break;
+    }
+    case Tag::kHistogramRequest:
+      handle_histogram_request(msg.as<HistogramRequestPayload>());
+      break;
+    case Tag::kReshuffleMove:
+      handle_reshuffle(msg.as<ReshuffleMovePayload>());
+      break;
+    case Tag::kReportRequest:
+      handle_report_request();
+      break;
+    default:
+      EHJA_CHECK_MSG(false, "join process received unexpected tag");
+  }
+}
+
+void JoinProcessActor::handle_init(const JoinInitPayload& init) {
+  EHJA_CHECK_MSG(!table_ && !spiller_, "double init");
+  role_ = init.role;
+  range_ = init.range;
+  if (config_->algorithm == Algorithm::kOutOfCore) {
+    // The baseline never expands: on overflow it runs the basic GRACE
+    // out-of-core join of ss2 (everything through the disk).
+    spiller_.emplace(config_->build_rel.schema, range_, budget(),
+                     config_->spill_fanout, disk_, config_->cost,
+                     static_cast<std::uint64_t>(id()) + 1,
+                     SpillPolicy::kEvictAll);
+  } else {
+    table_.emplace(config_->build_rel.schema, range_);
+  }
+  EHJA_DEBUG(name(), "init role=", static_cast<int>(init.role), " range=[",
+             range_.lo, ",", range_.hi, ")");
+  // Replay anything that raced ahead of the init message.
+  std::vector<ChunkPayload> stashed;
+  stashed.swap(pre_init_chunks_);
+  for (const ChunkPayload& payload : stashed) {
+    handle_chunk(payload);
+  }
+}
+
+void JoinProcessActor::note_overshoot() {
+  if (!table_) return;
+  const std::uint64_t footprint = table_->footprint_bytes();
+  if (footprint > budget()) {
+    max_overshoot_bytes_ =
+        std::max(max_overshoot_bytes_, footprint - budget());
+  }
+}
+
+void JoinProcessActor::after_insert_overflow_check() {
+  note_overshoot();
+  if (!table_ || table_->footprint_bytes() <= budget()) return;
+  if (memory_request_pending_ || frozen_ || !expansion_enabled_) return;
+  MemoryFullPayload full;
+  full.footprint_bytes = table_->footprint_bytes();
+  full.budget_bytes = budget();
+  memory_request_pending_ = true;
+  send(scheduler_, make_message(Tag::kMemoryFull, full, kControlWireBytes));
+}
+
+void JoinProcessActor::handle_chunk(const ChunkPayload& payload) {
+  if (!table_ && !spiller_) {
+    // Raced ahead of kJoinInit (thread runtime); counted when replayed.
+    pre_init_chunks_.push_back(payload);
+    return;
+  }
+  ++chunks_received_;
+  const Chunk& chunk = payload.chunk;
+  charge(static_cast<double>(chunk.size()) * config_->cost.tuple_pack_sec);
+  if (chunk.rel == config_->build_rel.tag) {
+    handle_build_chunk(chunk);
+  } else {
+    handle_probe_chunk(chunk);
+  }
+}
+
+void JoinProcessActor::handle_build_chunk(const Chunk& chunk) {
+  const Schema& schema = config_->build_rel.schema;
+  if (frozen_) {
+    // Paper ss4.2.2: a full node forwards arriving build data to the fresh
+    // replica of its range.
+    chunks_forwarded_ += ship(handoff_target_, chunk.tuples, chunk.rel, schema);
+    return;
+  }
+
+  // Partition the chunk into tuples we own and tuples given away in splits
+  // (stale-source routing); ship the latter hop-by-hop.
+  const PosRange owned = spiller_ ? spiller_->range() : table_->range();
+  std::vector<Tuple> mine;
+  mine.reserve(chunk.tuples.size());
+  std::map<ActorId, std::vector<Tuple>> foreign;
+  for (const Tuple& t : chunk.tuples) {
+    const std::uint64_t pos = position_of(t.key);
+    if (owned.contains(pos)) {
+      mine.push_back(t);
+      continue;
+    }
+    ActorId target = kInvalidActor;
+    for (const auto& [range, actor] : forward_table_) {
+      if (range.contains(pos)) {
+        target = actor;
+        break;
+      }
+    }
+    EHJA_CHECK_MSG(target != kInvalidActor,
+                   "build tuple for a range this node never owned");
+    foreign[target].push_back(t);
+  }
+  for (auto& [target, tuples] : foreign) {
+    chunks_forwarded_ += ship(target, std::move(tuples), chunk.rel, schema);
+  }
+
+  if (spiller_) {
+    double seconds = 0.0;
+    for (const Tuple& t : mine) seconds += spiller_->add_build(t);
+    charge(seconds);
+    return;
+  }
+  charge(static_cast<double>(mine.size()) * config_->cost.tuple_insert_sec);
+  for (const Tuple& t : mine) table_->insert(t);
+  after_insert_overflow_check();
+  // Periodic memory sample for the trace (chunks 1, 5, 9, ...).
+  if (config_->trace != nullptr && (chunks_received_ & 3u) == 1) {
+    config_->trace->emit(now(), TraceKind::kMemSample, id(),
+                         static_cast<std::int64_t>(table_->footprint_bytes()));
+  }
+}
+
+void JoinProcessActor::handle_probe_chunk(const Chunk& chunk) {
+  probe_tuples_ += chunk.size();
+  if (spiller_) {
+    double seconds = 0.0;
+    for (const Tuple& t : chunk.tuples) {
+      seconds += spiller_->add_probe(t, result_);
+    }
+    charge(seconds);
+    return;
+  }
+  double seconds = 0.0;
+  for (const Tuple& t : chunk.tuples) {
+    const auto probe = table_->probe(t);
+    result_.matches += probe.matches;
+    result_.checksum += probe.checksum_delta;
+    seconds += config_->cost.tuple_probe_sec +
+               static_cast<double>(probe.comparisons) *
+                   config_->cost.tuple_compare_sec +
+               static_cast<double>(probe.matches) *
+                   config_->cost.match_emit_sec;
+  }
+  charge(seconds);
+}
+
+void JoinProcessActor::handle_split_request(const SplitRequestPayload& req) {
+  charge(config_->cost.control_handle_sec);
+  EHJA_CHECK_MSG(config_->algorithm == Algorithm::kSplit,
+                 "split request outside the split algorithm");
+  EHJA_CHECK_MSG(!spiller_, "split request after switching to spill mode");
+  EHJA_CHECK(req.moved.lo > range_.lo && req.moved.hi == range_.hi);
+
+  std::vector<Tuple> moved = table_->extract_range(req.moved);
+  range_ = PosRange{range_.lo, req.moved.lo};
+  table_->set_range(range_);
+  forward_table_.emplace_back(req.moved, req.target);
+
+  chunks_forwarded_ += ship(req.target, std::move(moved),
+                            config_->build_rel.tag,
+                            config_->build_rel.schema);
+  ForwardEndPayload end;
+  end.op_id = req.op_id;
+  send(req.target, make_message(Tag::kForwardEnd, end, kControlWireBytes));
+  note_overshoot();
+  EHJA_DEBUG(name(), "split: kept [", range_.lo, ",", range_.hi, ")");
+}
+
+void JoinProcessActor::handle_handoff(const HandoffStartPayload& handoff) {
+  EHJA_CHECK(config_->algorithm == Algorithm::kReplicate ||
+             config_->algorithm == Algorithm::kHybrid);
+  frozen_ = true;
+  handoff_target_ = handoff.target;
+  // In-flight and stale chunks are forwarded as they arrive (handle_build_
+  // chunk); the op's data stream terminator can go out immediately.
+  ForwardEndPayload end;
+  end.op_id = handoff.op_id;
+  send(handoff.target, make_message(Tag::kForwardEnd, end, kControlWireBytes));
+}
+
+void JoinProcessActor::handle_histogram_request(
+    const HistogramRequestPayload& req) {
+  EHJA_CHECK(table_.has_value());
+  // Reshuffle begins: the build phase is fully drained, so a frozen replica
+  // can resume accepting tuples (they now come from its own set); the
+  // redistribution itself must not trigger further expansion.
+  frozen_ = false;
+  expansion_enabled_ = false;
+  BinnedHistogram hist = table_->histogram(req.bins);
+  charge(static_cast<double>(table_->range().width()) * 2e-9 +
+         config_->cost.control_handle_sec);
+  HistogramReplyPayload reply;
+  reply.set_id = req.set_id;
+  reply.histogram = std::move(hist);
+  const std::size_t wire = reply.histogram.wire_bytes();
+  send(scheduler_, make_message(Tag::kHistogramReply, std::move(reply), wire));
+}
+
+void JoinProcessActor::handle_reshuffle(const ReshuffleMovePayload& move) {
+  charge(config_->cost.control_handle_sec);
+  EHJA_CHECK(table_.has_value());
+  PosRange mine{0, 0};
+  for (const auto& entry : move.plan) {
+    EHJA_CHECK(entry.owners.size() == 1);
+    if (entry.owners.front() == id()) {
+      mine = entry.range;
+      continue;
+    }
+    std::vector<Tuple> out = table_->extract_range(entry.range);
+    if (!out.empty()) {
+      chunks_forwarded_ += ship(entry.owners.front(), std::move(out),
+                                config_->build_rel.tag,
+                                config_->build_rel.schema);
+    }
+  }
+  EHJA_CHECK_MSG(!mine.empty(), "reshuffle plan omits this member");
+  table_->set_range(mine);
+  range_ = mine;
+  send(scheduler_,
+       make_signal(Tag::kReshuffleDone));
+  note_overshoot();
+}
+
+void JoinProcessActor::enter_spill_mode() {
+  EHJA_CHECK_MSG(!spiller_, "already spilling");
+  EHJA_CHECK(table_.has_value());
+  spiller_.emplace(config_->build_rel.schema, range_, budget(),
+                   config_->spill_fanout, disk_, config_->cost,
+                   static_cast<std::uint64_t>(id()) + 1);
+  // Re-home the current table contents through the spiller (evictions are
+  // charged as real disk writes).
+  std::vector<Tuple> all = table_->extract_range(range_);
+  double seconds = 0.0;
+  for (const Tuple& t : all) seconds += spiller_->add_build(t);
+  charge(seconds);
+  table_.reset();
+  memory_request_pending_ = false;
+  EHJA_INFO(name(), "pool exhausted: switched to out-of-core spilling");
+}
+
+std::uint64_t JoinProcessActor::ship(ActorId target, std::vector<Tuple> tuples,
+                                     RelTag rel, const Schema& schema) {
+  EHJA_CHECK(target != kInvalidActor);
+  if (tuples.empty()) return 0;
+  charge(static_cast<double>(tuples.size()) * config_->cost.tuple_pack_sec);
+  std::uint64_t chunks = 0;
+  std::size_t offset = 0;
+  while (offset < tuples.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(config_->chunk_tuples, tuples.size() - offset);
+    ChunkPayload payload;
+    payload.forwarded = true;
+    payload.chunk.rel = rel;
+    payload.chunk.tuples.assign(tuples.begin() + offset,
+                                tuples.begin() + offset + n);
+    const std::size_t wire = chunk_wire_bytes(payload.chunk, schema);
+    send(target, make_message(Tag::kDataChunk, std::move(payload), wire));
+    offset += n;
+    ++chunks;
+  }
+  return chunks;
+}
+
+void JoinProcessActor::handle_report_request() {
+  EHJA_CHECK(!reported_);
+  reported_ = true;
+  if (spiller_) {
+    // Phase 3 of the out-of-core path: join the spilled partition pairs.
+    charge(spiller_->finish(result_));
+  }
+  NodeReportPayload report;
+  report.metrics.actor = id();
+  report.metrics.node = node();
+  report.metrics.build_tuples = build_tuples_held();
+  report.metrics.probe_tuples = probe_tuples_;
+  report.metrics.matches = result_.matches;
+  report.metrics.chunks_received = chunks_received_;
+  report.metrics.chunks_forwarded = chunks_forwarded_;
+  report.metrics.max_overshoot_bytes = max_overshoot_bytes_;
+  if (spiller_) {
+    report.metrics.spilled_build_tuples = spiller_->spilled_build_tuples();
+    report.metrics.spilled_probe_tuples = spiller_->spilled_probe_tuples();
+    report.metrics.spilled_partitions = spiller_->spilled_partitions();
+  }
+  report.checksum = result_.checksum;
+  send(scheduler_,
+       make_message(Tag::kNodeReport, std::move(report), kControlWireBytes));
+}
+
+}  // namespace ehja

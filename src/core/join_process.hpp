@@ -1,0 +1,105 @@
+// Join process actor (paper ss4.1.3).
+//
+// Builds and probes one contiguous slice of the hash table.  Behaviour on
+// memory overflow depends on the configured algorithm:
+//
+//   split:      keeps inserting (tracking budget overshoot) and raises
+//               `memory full`; the scheduler's split at the split pointer
+//               may move a range away from *any* node.  When this node is
+//               told to split (kSplitRequest) it migrates the upper half of
+//               its range to the new node and remembers the giveaway in a
+//               forward table, so chunks routed by stale sources are
+//               re-routed hop by hop -- the mechanism behind the paper's
+//               observation that extreme skew makes the split algorithm
+//               "communicate the same tuple many times" (Fig. 11).
+//
+//   replicate / hybrid:  raises `memory full` once, is frozen by the
+//               scheduler's kHandoffStart, and thereafter forwards every
+//               arriving build chunk to the fresh replica; its own table is
+//               kept for the probe phase.  Hybrid nodes are unfrozen when
+//               the reshuffle begins (kHistogramRequest) and then exchange
+//               sub-ranges per the scheduler's plan.
+//
+//   out-of-core: never expands; owns a HybridHashSpiller from the start and
+//               degrades to local disk.  Any EHJA node also switches to the
+//               spiller when the scheduler reports the pool exhausted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "hash/local_hash_table.hpp"
+#include "join/grace_join.hpp"
+#include "runtime/actor.hpp"
+#include "storage/sim_disk.hpp"
+
+namespace ehja {
+
+class JoinProcessActor final : public Actor {
+ public:
+  JoinProcessActor(std::shared_ptr<const EhjaConfig> config, ActorId scheduler);
+
+  void on_message(const Message& msg) override;
+  std::string name() const override;
+
+  // --- post-run observability (driver/tests) ---
+  const JoinResult& result() const { return result_; }
+  std::uint64_t build_tuples_held() const;
+  bool in_spill_mode() const { return spiller_.has_value(); }
+  bool frozen() const { return frozen_; }
+  const PosRange& range() const { return range_; }
+
+ private:
+  void handle_init(const JoinInitPayload& init);
+  void handle_chunk(const ChunkPayload& payload);
+  void handle_build_chunk(const Chunk& chunk);
+  void handle_probe_chunk(const Chunk& chunk);
+  void handle_split_request(const SplitRequestPayload& req);
+  void handle_handoff(const HandoffStartPayload& handoff);
+  void handle_histogram_request(const HistogramRequestPayload& req);
+  void handle_reshuffle(const ReshuffleMovePayload& move);
+  void handle_report_request();
+  void enter_spill_mode();
+  void after_insert_overflow_check();
+  /// Ship `tuples` to `target` as chunks; returns chunks sent.
+  std::uint64_t ship(ActorId target, std::vector<Tuple> tuples, RelTag rel,
+                     const Schema& schema);
+  std::uint64_t budget() const;
+  void note_overshoot();
+
+  std::shared_ptr<const EhjaConfig> config_;
+  ActorId scheduler_;
+  SimDisk disk_;
+
+  JoinRole role_ = JoinRole::kInitial;
+  PosRange range_;
+  std::optional<LocalHashTable> table_;
+  std::optional<HybridHashSpiller> spiller_;
+
+  bool frozen_ = false;
+  /// Cleared when the reshuffle begins: redistribution may overshoot the
+  /// budget but must not trigger further expansion (the paper's reshuffle
+  /// does not recurse).
+  bool expansion_enabled_ = true;
+  /// Data chunks that arrived before kJoinInit (possible under the thread
+  /// runtime's arbitrary delivery delays); replayed at init.
+  std::vector<ChunkPayload> pre_init_chunks_;
+  ActorId handoff_target_ = kInvalidActor;
+  /// Ranges this node gave away in splits (disjoint), for stale re-routing.
+  std::vector<std::pair<PosRange, ActorId>> forward_table_;
+  bool memory_request_pending_ = false;
+  bool reported_ = false;
+
+  // counters
+  std::uint64_t chunks_received_ = 0;
+  std::uint64_t chunks_forwarded_ = 0;
+  std::uint64_t probe_tuples_ = 0;
+  std::uint64_t max_overshoot_bytes_ = 0;
+  JoinResult result_;
+};
+
+}  // namespace ehja

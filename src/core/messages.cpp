@@ -1,0 +1,3 @@
+#include "core/messages.hpp"
+
+// Message payloads are plain structs; this anchors the module.

@@ -1,0 +1,155 @@
+// The join protocol's message vocabulary.
+//
+// Naming follows the paper where it names a message ("memory full message",
+// "start probe message", ...).  Tag numbering is stable so protocol traces
+// are readable.  See core/scheduler.hpp for the phase state machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "hash/partition_map.hpp"
+#include "relation/chunk.hpp"
+#include "runtime/message.hpp"
+#include "util/histogram.hpp"
+
+namespace ehja {
+
+enum class Tag : int {
+  // --- bootstrap ---
+  kJoinInit = 1,       // scheduler -> join: your range and role
+  kStartBuild = 2,     // scheduler -> source: initial map, begin relation R
+  kGenSlice = 3,       // source -> self: generate the next quantum
+
+  // --- data plane ---
+  kDataChunk = 10,     // source/peer -> join: a chunk of R or S tuples
+  kForwardEnd = 11,    // peer -> join: migration/handoff stream complete
+
+  // --- expansion (build phase) ---
+  kMemoryFull = 20,    // join -> scheduler (paper ss4.1.1)
+  kSplitRequest = 21,  // scheduler -> join: ship `moved` range to new node
+  kHandoffStart = 22,  // scheduler -> join: you are frozen; forward pending
+  kOpComplete = 23,    // new join -> scheduler: expansion op done
+  kRelief = 24,        // scheduler -> join: your request was serviced
+  kSwitchToSpill = 25, // scheduler -> join: pool exhausted, spill locally
+  kMapUpdate = 26,     // scheduler -> source: new partition map
+
+  // --- phase barriers ---
+  kSourceDone = 30,    // source -> scheduler: finished one relation
+  kDrainProbe = 31,    // scheduler -> join: report your chunk counters
+  kDrainAck = 32,      // join -> scheduler
+  kBuildComplete = 33, // scheduler -> join: build phase over
+  kStartProbe = 34,    // scheduler -> source: final map, begin relation S
+
+  // --- hybrid reshuffle ---
+  kHistogramRequest = 40,  // scheduler -> join (replica-set member)
+  kHistogramReply = 41,    // join -> scheduler
+  kReshuffleMove = 42,     // scheduler -> join: new sub-partitioning
+  kReshuffleDone = 43,     // join -> scheduler: finished shipping
+
+  // --- completion ---
+  kReportRequest = 50,  // scheduler -> join: finish + report
+  kNodeReport = 51,     // join -> scheduler
+};
+
+/// Modes a join process can be initialized into.
+enum class JoinRole : std::uint8_t {
+  kInitial,     // one of the J initial working nodes
+  kSplitChild,  // receives the upper half of a split bucket
+  kReplica,     // fresh replica of an overflowed range
+};
+
+struct JoinInitPayload {
+  JoinRole role = JoinRole::kInitial;
+  PosRange range;
+  std::uint32_t source_count = 0;
+  std::uint64_t op_id = 0;  // expansion op this spawn belongs to (0 = none)
+};
+
+struct StartBuildPayload {
+  PartitionMap map;
+};
+
+struct ChunkPayload {
+  Chunk chunk;
+  bool forwarded = false;  // peer-to-peer (migration/handoff/stale-route)
+};
+
+struct ForwardEndPayload {
+  std::uint64_t op_id = 0;  // 0 for ad-hoc stale-route streams
+};
+
+struct MemoryFullPayload {
+  std::uint64_t footprint_bytes = 0;
+  std::uint64_t budget_bytes = 0;
+};
+
+struct SplitRequestPayload {
+  std::uint64_t op_id = 0;
+  PosRange moved;     // upper half, leaves the owner
+  ActorId target = kInvalidActor;
+};
+
+struct HandoffStartPayload {
+  std::uint64_t op_id = 0;
+  ActorId target = kInvalidActor;  // the fresh replica
+};
+
+struct OpCompletePayload {
+  std::uint64_t op_id = 0;
+  std::uint64_t tuples_received = 0;
+};
+
+struct MapUpdatePayload {
+  std::uint64_t version = 0;
+  PartitionMap map;
+};
+
+struct SourceDonePayload {
+  RelTag rel = RelTag::kR;
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t tuples_sent = 0;
+};
+
+struct DrainProbePayload {
+  std::uint64_t epoch = 0;
+};
+
+struct DrainAckPayload {
+  std::uint64_t epoch = 0;
+  std::uint64_t data_chunks_received = 0;
+  std::uint64_t data_chunks_forwarded = 0;
+};
+
+struct StartProbePayload {
+  PartitionMap map;
+};
+
+struct HistogramRequestPayload {
+  std::uint64_t set_id = 0;
+  std::size_t bins = 0;
+};
+
+struct HistogramReplyPayload {
+  std::uint64_t set_id = 0;
+  BinnedHistogram histogram;
+};
+
+struct ReshuffleMovePayload {
+  /// The replica set's range re-cut into disjoint sub-ranges, one per set
+  /// member; every member receives the same plan and ships accordingly.
+  std::vector<PartitionMap::Entry> plan;
+};
+
+struct NodeReportPayload {
+  NodeMetrics metrics;
+  std::uint64_t checksum = 0;
+};
+
+/// Wire size of a data chunk under `schema`.
+inline std::size_t chunk_wire_bytes(const Chunk& chunk, const Schema& schema) {
+  return chunk.wire_bytes(schema);
+}
+
+}  // namespace ehja

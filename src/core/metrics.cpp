@@ -1,0 +1,27 @@
+#include "core/metrics.hpp"
+
+#include <sstream>
+
+namespace ehja {
+
+std::vector<double> RunMetrics::load_chunks(std::uint32_t chunk_tuples) const {
+  std::vector<double> loads;
+  loads.reserve(nodes.size());
+  for (const NodeMetrics& n : nodes) {
+    loads.push_back(static_cast<double>(n.build_tuples) /
+                    static_cast<double>(chunk_tuples));
+  }
+  return loads;
+}
+
+std::string RunMetrics::summary() const {
+  std::ostringstream os;
+  os << "total=" << total_time() << "s build=" << build_time()
+     << "s reshuffle=" << reshuffle_time() << "s probe=" << probe_time()
+     << "s finish=" << finish_time() << "s split_time=" << split_time
+     << "s nodes=" << initial_join_nodes << "->" << final_join_nodes
+     << " extra_chunks=" << extra_build_chunks << " matches=" << join.matches;
+  return os.str();
+}
+
+}  // namespace ehja

@@ -1,0 +1,50 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace ehja {
+
+PipelineResult run_pipeline(const PipelinePlan& plan, RuntimeKind kind) {
+  EHJA_CHECK_MSG(!plan.stages.empty(), "pipeline needs at least one stage");
+  PipelineResult result;
+  RelationSpec build = plan.first_build;
+
+  for (std::size_t k = 0; k < plan.stages.size(); ++k) {
+    const PipelineStage& stage = plan.stages[k];
+    EhjaConfig config;
+    config.algorithm = stage.algorithm;
+    config.initial_join_nodes = stage.initial_join_nodes;
+    config.join_pool_nodes = plan.join_pool_nodes;
+    config.data_sources = plan.data_sources;
+    config.node_hash_memory_bytes = plan.node_hash_memory_bytes;
+    config.build_rel = build;
+    config.build_rel.tag = RelTag::kR;
+    config.probe_rel = stage.probe;
+    config.probe_rel.tag = RelTag::kS;
+    // Each stage draws from its own deterministic stream family.
+    config.seed = plan.seed + 0x1000 * (k + 1);
+
+    RunResult run = run_ehja(config, kind);
+    result.total_time += run.metrics.total_time();
+    result.peak_join_nodes =
+        std::max(result.peak_join_nodes, run.metrics.final_join_nodes);
+    result.final_matches = run.join().matches;
+    EHJA_INFO("pipeline", "stage ", k, ": |build|=", build.tuple_count,
+              " |probe|=", config.probe_rel.tuple_count, " -> ",
+              run.join().matches, " rows in ", run.metrics.total_time(),
+              "s on ", run.metrics.final_join_nodes, " nodes");
+
+    // The stage's output streams into the next stage's build side; only its
+    // cardinality and schema carry over (see header).
+    build.tuple_count = std::max<std::uint64_t>(run.join().matches, 1);
+    build.schema = Schema{plan.intermediate_tuple_bytes};
+    build.dist = plan.intermediate_dist;
+    result.stages.push_back(std::move(run));
+  }
+  return result;
+}
+
+}  // namespace ehja

@@ -1,0 +1,68 @@
+// Multi-way join pipelines -- the paper's ss6 future work.
+//
+// A multi-join plan  ((R1 |><| R2) |><| R3) |><| ...  evaluated left-deep:
+// each stage's join output becomes the *build* relation of the next stage.
+// The defining property (and the reason the paper cares): the build size of
+// stage k+1 is the output cardinality of stage k, which is unknowable when
+// the query starts -- exactly the situation the Expanding Hash-based Join
+// Algorithms were designed for.  Each stage therefore starts on a small
+// initial node set and expands on demand.
+//
+// Modeling note: the intermediate result is not materialized as concrete
+// tuples across stages (its payload never influences any measured
+// quantity); the next stage's build relation is synthesized with the
+// measured cardinality, the configured intermediate schema, and a fresh
+// deterministic key stream.  This preserves sizes, distributions and all
+// expansion dynamics, which is what the pipeline experiments study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/driver.hpp"
+
+namespace ehja {
+
+struct PipelineStage {
+  /// The new relation this stage probes with (the build side is the
+  /// previous stage's output; for stage 0 it is `first_build` below).
+  RelationSpec probe;
+  Algorithm algorithm = Algorithm::kHybrid;
+  std::uint32_t initial_join_nodes = 2;
+};
+
+struct PipelinePlan {
+  /// Build relation of the first stage.
+  RelationSpec first_build;
+  /// Distribution used to synthesize intermediate build keys.
+  DistributionSpec intermediate_dist = DistributionSpec::SmallDomain(1 << 20);
+  /// Tuple size of intermediate results (join output rows are wider than
+  /// either input; default: both inputs' payloads side by side).
+  std::uint32_t intermediate_tuple_bytes = 200;
+  std::vector<PipelineStage> stages;
+
+  /// Shared cluster parameters applied to every stage.
+  std::uint32_t join_pool_nodes = 24;
+  std::uint32_t data_sources = 4;
+  std::uint64_t node_hash_memory_bytes = 80 * kMiB;
+  std::uint64_t seed = 1;
+};
+
+struct PipelineResult {
+  std::vector<RunResult> stages;
+  /// Sum of stage total times (stages run back to back; the paper's ss6
+  /// notes keeping intermediate results in memory would allow overlap --
+  /// that optimization is future work here too).
+  double total_time = 0.0;
+  /// Peak join-node count across stages.
+  std::uint32_t peak_join_nodes = 0;
+  /// Output cardinality of the final stage.
+  std::uint64_t final_matches = 0;
+};
+
+/// Execute the plan stage by stage.  Aborts (EHJA_CHECK) on an empty plan.
+PipelineResult run_pipeline(const PipelinePlan& plan,
+                            RuntimeKind kind = RuntimeKind::kSim);
+
+}  // namespace ehja

@@ -1,0 +1,110 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "hash/hash_family.hpp"
+#include "util/assert.hpp"
+
+namespace ehja {
+
+SkewEstimate estimate_skew(const DistributionSpec& dist,
+                           std::uint64_t sample_size, std::uint64_t seed) {
+  EHJA_CHECK(sample_size > 0);
+  constexpr std::size_t kSlices = 64;
+  std::vector<std::uint64_t> slice_counts(kSlices, 0);
+  SplitMix64 rng(seed, /*stream=*/0x51a);
+  for (std::uint64_t i = 0; i < sample_size; ++i) {
+    const std::uint64_t pos = position_of(sample_key(dist, rng));
+    ++slice_counts[static_cast<std::size_t>(pos * kSlices / kPositionCount)];
+  }
+  SkewEstimate estimate;
+  estimate.sampled = sample_size;
+  const std::uint64_t hottest =
+      *std::max_element(slice_counts.begin(), slice_counts.end());
+  estimate.hot_fraction =
+      static_cast<double>(hottest) / static_cast<double>(sample_size);
+  estimate.concentration = estimate.hot_fraction * kSlices;
+  // 3-sigma binomial error on the hottest slice's fraction.
+  const double p = estimate.hot_fraction;
+  estimate.error_bound =
+      3.0 * std::sqrt(p * (1.0 - p) / static_cast<double>(sample_size));
+  return estimate;
+}
+
+double ExpansionModel::split_overhead_sec() const {
+  const double splits =
+      static_cast<double>(final_buckets) - initial_buckets;
+  return std::max(0.0, splits) * (bucket_bytes / 2.0) * sec_per_byte;
+}
+
+double ExpansionModel::reshuffle_overhead_sec() const {
+  const double e = expansion_factor();
+  if (e <= 1.0) return 0.0;
+  return ((e - 1.0) / e) * bucket_bytes * initial_buckets * sec_per_byte;
+}
+
+ExpansionModel model_from_config(const EhjaConfig& config) {
+  ExpansionModel model;
+  model.initial_buckets = config.initial_join_nodes;
+  const double build_footprint =
+      static_cast<double>(config.build_rel.tuple_count) *
+      static_cast<double>(tuple_footprint(config.build_rel.schema));
+  model.bucket_bytes = build_footprint / config.initial_join_nodes;
+  const double nodes_needed =
+      build_footprint / static_cast<double>(config.node_hash_memory_bytes);
+  model.final_buckets = static_cast<std::uint32_t>(std::min<double>(
+      config.join_pool_nodes,
+      std::max<double>(config.initial_join_nodes, std::ceil(nodes_needed))));
+  model.sec_per_byte = 1.0 / config.link.bandwidth_bytes_per_sec;
+  return model;
+}
+
+PlannerDecision choose_algorithm(const EhjaConfig& config,
+                                 const PlannerInputs& inputs) {
+  PlannerDecision decision;
+  decision.model = model_from_config(config);
+  decision.skew = inputs.skew_sample > 0
+                      ? estimate_skew(config.build_rel.dist,
+                                      inputs.skew_sample, config.seed)
+                      : SkewEstimate{};
+
+  std::ostringstream why;
+  const bool larger_builds = inputs.build_tuples > inputs.probe_tuples;
+  const bool no_overflow =
+      decision.model.final_buckets <= decision.model.initial_buckets;
+
+  if (no_overflow) {
+    // Nothing will expand; every strategy degenerates to the same static
+    // join, so take the one with zero extra machinery.
+    decision.algorithm = Algorithm::kSplit;
+    why << "table fits the initial allocation (E=1); no expansion expected";
+  } else if (decision.skew.highly_skewed() || larger_builds) {
+    // ss6: "the replication-based algorithm should be preferred ... if the
+    // distribution of the join attribute values is highly skewed and/or
+    // the larger relation has to be used to build the hash table".
+    decision.algorithm = Algorithm::kReplicate;
+    why << (larger_builds ? "larger relation builds the table"
+                          : "high skew (concentration ")
+        << (larger_builds ? std::string()
+                          : std::to_string(decision.skew.concentration) + ")")
+        << "; replication avoids migrating the build side";
+  } else if (decision.model.split_overhead_sec() <
+             decision.model.reshuffle_overhead_sec()) {
+    decision.algorithm = Algorithm::kSplit;
+    why << "modest expansion (E=" << decision.model.expansion_factor()
+        << "); split migration is cheaper than a reshuffle";
+  } else {
+    // ss6: "the hybrid algorithm generally performs close to the better of
+    // the two or is the best" -- the safe default.
+    decision.algorithm = Algorithm::kHybrid;
+    why << "large expansion factor (E=" << decision.model.expansion_factor()
+        << "); hybrid caps per-tuple movement at one reshuffle hop";
+  }
+  decision.rationale = why.str();
+  return decision;
+}
+
+}  // namespace ehja

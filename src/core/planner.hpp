@@ -1,0 +1,94 @@
+// Algorithm selection: the paper's conclusions as executable policy.
+//
+// The paper's decision rule (ss6): prefer the replication-based algorithm
+// when the join-attribute distribution is highly skewed and/or the larger
+// relation must build the hash table; otherwise the split-based algorithm;
+// the hybrid algorithm is the safe default ("generally performs close to
+// the better of the two or is the best").
+//
+// Two inputs feed the rule:
+//   * SkewEstimate -- a sampling pass over the build stream (the paper's
+//     intro discusses estimating memory needs by sampling and why it can
+//     be expensive/inaccurate; the estimator reports its own confidence);
+//   * the ss4.2.4 analytical model of split vs reshuffle overhead, exposed
+//     directly so callers can reason about the expansion factor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+#include "util/rng.hpp"
+
+namespace ehja {
+
+// --------------------------------------------------------- skew estimation
+
+struct SkewEstimate {
+  /// Fraction of sampled tuples whose position lands in the most loaded
+  /// 1/64th of the position space (1/64 == perfectly uniform).
+  double hot_fraction = 0.0;
+  /// hot_fraction / (1/64): 1.0 = uniform, 64 = everything in one slice.
+  double concentration = 1.0;
+  std::uint64_t sampled = 0;
+  /// Sampling error bound on hot_fraction (3-sigma binomial).
+  double error_bound = 1.0;
+
+  bool highly_skewed() const { return concentration >= 8.0; }
+  bool mildly_skewed() const { return concentration >= 2.0; }
+};
+
+/// Sample `sample_size` keys from the distribution (as a data source
+/// would generate them) and summarize position concentration.
+SkewEstimate estimate_skew(const DistributionSpec& dist,
+                           std::uint64_t sample_size, std::uint64_t seed);
+
+// ------------------------------------------------- ss4.2.4 overhead model
+
+struct ExpansionModel {
+  /// Bucket size B in bytes (the build share of one initial bucket).
+  double bucket_bytes = 0.0;
+  std::uint32_t initial_buckets = 0;  // N0
+  std::uint32_t final_buckets = 0;    // N
+  /// Seconds to move one byte across the network (t_c).
+  double sec_per_byte = 0.0;
+
+  double expansion_factor() const {
+    return initial_buckets == 0
+               ? 1.0
+               : static_cast<double>(final_buckets) / initial_buckets;
+  }
+  /// O_split ~ (N - N0) * (B/2) * t_c
+  double split_overhead_sec() const;
+  /// O_reshuffle ~ ((E-1)/E) * B * N0 * t_c
+  double reshuffle_overhead_sec() const;
+};
+
+/// Instantiate the ss4.2.4 model from a run configuration: B from the
+/// build relation and N from the memory it will need.
+ExpansionModel model_from_config(const EhjaConfig& config);
+
+// ------------------------------------------------------------ the planner
+
+struct PlannerDecision {
+  Algorithm algorithm = Algorithm::kHybrid;
+  std::string rationale;
+  SkewEstimate skew;
+  ExpansionModel model;
+};
+
+struct PlannerInputs {
+  /// Candidate build/probe sides as the query plan sees them; the planner
+  /// may not reorder them (streaming order can force the larger side to
+  /// build -- the Fig. 8 scenario).
+  std::uint64_t build_tuples = 0;
+  std::uint64_t probe_tuples = 0;
+  /// Sample size for skew estimation (0 = trust dist as given).
+  std::uint64_t skew_sample = 100'000;
+};
+
+/// Apply the paper's ss6 decision rule to a configuration.
+PlannerDecision choose_algorithm(const EhjaConfig& config,
+                                 const PlannerInputs& inputs);
+
+}  // namespace ehja

@@ -1,0 +1,55 @@
+#include "core/reshuffle.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/partition.hpp"
+
+namespace ehja {
+
+std::vector<PartitionMap::Entry> plan_reshuffle(
+    const BinnedHistogram& merged, const std::vector<ActorId>& members) {
+  EHJA_CHECK(!members.empty());
+  const std::size_t k = members.size();
+  EHJA_CHECK_MSG(merged.hi() - merged.lo() >= k,
+                 "range narrower than the replica set");
+
+  const PartitionResult parts =
+      greedy_contiguous_partition(merged.weights(), k);
+
+  // Bin cuts -> position boundaries.
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(k + 1);
+  bounds.push_back(merged.lo());
+  for (std::size_t cut : parts.cuts) {
+    bounds.push_back(cut >= merged.bin_count() ? merged.hi()
+                                               : merged.bin_lo(cut));
+  }
+  bounds.push_back(merged.hi());
+
+  // The greedy sweep can emit empty parts when one bin dominates; every
+  // member must still own a non-empty range (LocalHashTable requires one),
+  // so clamp each interior boundary into the window that keeps all bounds
+  // strictly increasing: at least one position after its predecessor, and
+  // early enough that every later member can still get one position.  The
+  // weight distortion is at most one position per member.
+  bounds.front() = merged.lo();
+  bounds.back() = merged.hi();
+  for (std::size_t i = 1; i + 1 < bounds.size(); ++i) {
+    const std::uint64_t least = bounds[i - 1] + 1;
+    const std::uint64_t most = merged.hi() - (k - i);
+    bounds[i] = std::min(std::max(bounds[i], least), most);
+  }
+  EHJA_CHECK(std::is_sorted(bounds.begin(), bounds.end()));
+
+  std::vector<PartitionMap::Entry> entries;
+  entries.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    EHJA_CHECK(bounds[i] < bounds[i + 1]);
+    entries.push_back(PartitionMap::Entry{PosRange{bounds[i], bounds[i + 1]},
+                                          {members[i]}});
+  }
+  return entries;
+}
+
+}  // namespace ehja

@@ -1,0 +1,165 @@
+// Scheduler actor (paper ss4.1.1).
+//
+// Coordinates the whole join: holds the authoritative partition map and the
+// lists of working / potential / full join nodes, serializes expansion
+// operations (the split algorithm's *barrier split pointer* generalizes to
+// "at most one expansion op in flight"), detects phase completion, runs the
+// hybrid reshuffle, and aggregates the final per-node reports into
+// RunMetrics.
+//
+// Phase machine:
+//
+//   kBuild --(all sources done, no ops pending)--> kBuildDrain
+//   kBuildDrain --(counters stable, see below)--> [hybrid with replicas?]
+//        yes: kReshuffle --> kReshuffleDrain --> kProbe
+//        no:  kProbe
+//   kProbe --(all sources done)--> kProbeDrain --> kReporting --> kDone
+//
+// Drain protocol.  Chunks can be in flight or be re-forwarded between nodes
+// (stale-source routing), so "sources are done" does not mean "nodes have
+// everything".  The scheduler polls every join node for its cumulative
+// (data chunks received, data chunks forwarded) counters and declares a
+// phase drained when
+//     received == chunks sent by sources + forwarded by nodes
+// and the totals are identical across two consecutive polls (Mattern-style
+// counter termination detection -- a single matching poll can be fooled by
+// a chunk counted at the receiver but not yet at its sender's poll).  An
+// expansion op starting mid-drain aborts the drain; op completion retries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/resource_pool.hpp"
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "core/metrics.hpp"
+#include "hash/hash_family.hpp"
+#include "hash/partition_map.hpp"
+#include "runtime/actor.hpp"
+
+namespace ehja {
+
+class SchedulerActor final : public Actor {
+ public:
+  /// `spawn_join` instantiates a fresh join process on a given node and
+  /// returns its actor id (the driver wires it to the runtime).
+  SchedulerActor(std::shared_ptr<const EhjaConfig> config,
+                 std::function<ActorId(NodeId)> spawn_join);
+
+  /// Driver wiring before run(): source actors, the initial join actors
+  /// (already spawned), and the pool of potential join nodes.
+  void wire(std::vector<ActorId> sources, std::vector<ActorId> initial_joins,
+            ResourcePool pool);
+
+  void on_start() override;
+  void on_message(const Message& msg) override;
+  std::string name() const override { return "sched"; }
+
+  const RunMetrics& metrics() const { return metrics_; }
+  bool finished() const { return phase_ == Phase::kDone; }
+  const PartitionMap& partition_map() const { return map_; }
+
+ private:
+  enum class Phase {
+    kBuild,
+    kBuildDrain,
+    kReshuffle,
+    kReshuffleDrain,
+    kProbe,
+    kProbeDrain,
+    kReporting,
+    kDone,
+  };
+
+  struct OpInfo {
+    SimTime started = 0.0;
+    bool is_split = false;
+    ActorId requester = kInvalidActor;
+  };
+
+  void handle_memory_full(ActorId from, const MemoryFullPayload& payload);
+  void try_start_expansion();
+  void start_split(ActorId requester);
+  void start_requester_split(ActorId requester);
+  void start_replication(ActorId requester);
+  void handle_op_complete(const OpCompletePayload& done);
+  void handle_source_done(const SourceDonePayload& done);
+  void maybe_start_build_drain();
+  void start_drain_round();
+  void handle_drain_ack(ActorId from, const DrainAckPayload& ack);
+  void on_drained();
+  void build_complete();
+  void start_reshuffle();
+  void handle_histogram_reply(const HistogramReplyPayload& reply);
+  void dispatch_reshuffle_moves();
+  void handle_reshuffle_done();
+  void start_probe();
+  void handle_node_report(const NodeReportPayload& report);
+  void broadcast_map();
+  void send_switch_to_spill(ActorId requester);
+  std::uint64_t expected_source_chunks() const;
+  void trace(TraceKind kind, std::int64_t a = 0, std::int64_t b = 0,
+             std::string detail = {}) {
+    if (config_->trace != nullptr) {
+      config_->trace->emit(now(), kind, a, b, std::move(detail));
+    }
+  }
+
+  std::shared_ptr<const EhjaConfig> config_;
+  std::function<ActorId(NodeId)> spawn_join_;
+
+  std::vector<ActorId> sources_;
+  std::vector<ActorId> joins_;  // every join actor ever created
+  std::optional<ResourcePool> pool_;
+  bool pool_exhausted_ = false;
+  /// Join actors told to spill locally; they cannot take part in a
+  /// reshuffle (their partitions live on disk).
+  std::vector<ActorId> spilled_;
+
+  Phase phase_ = Phase::kBuild;
+  PartitionMap map_;
+  std::uint64_t map_version_ = 0;
+  std::optional<LinearHashMap> linear_;  // split algorithm only
+
+  // expansion serialization (the barrier)
+  std::deque<ActorId> full_queue_;
+  std::optional<OpInfo> op_;  // at most one in flight
+  std::uint64_t next_op_id_ = 1;
+
+  // source bookkeeping
+  std::uint32_t sources_done_build_ = 0;
+  std::uint32_t sources_done_probe_ = 0;
+  std::uint64_t source_chunks_build_ = 0;
+  std::uint64_t source_chunks_probe_ = 0;
+  std::uint64_t source_tuples_build_ = 0;
+  std::uint64_t source_tuples_probe_ = 0;
+
+  // drain protocol
+  std::uint64_t drain_epoch_ = 0;
+  std::uint32_t drain_acks_ = 0;
+  std::uint64_t drain_received_ = 0;
+  std::uint64_t drain_forwarded_ = 0;
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> drain_prev_;
+
+  // hybrid reshuffle
+  struct ReshuffleSet {
+    std::vector<ActorId> members;
+    std::optional<BinnedHistogram> merged;
+    std::uint32_t replies = 0;
+  };
+  std::map<std::uint64_t, ReshuffleSet> reshuffle_sets_;  // key: entry index
+  std::uint32_t reshuffle_pending_replies_ = 0;
+  std::uint32_t reshuffle_pending_done_ = 0;
+
+  // completion
+  std::uint32_t reports_pending_ = 0;
+  RunMetrics metrics_;
+};
+
+}  // namespace ehja

@@ -1,0 +1,77 @@
+#include "hash/hash_family.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+std::vector<PosRange> equal_ranges(std::uint32_t buckets,
+                                   std::uint64_t positions) {
+  EHJA_CHECK(buckets > 0);
+  EHJA_CHECK(positions >= buckets);
+  std::vector<PosRange> ranges;
+  ranges.reserve(buckets);
+  for (std::uint32_t j = 0; j < buckets; ++j) {
+    ranges.push_back(PosRange{positions * j / buckets,
+                              positions * (j + 1) / buckets});
+  }
+  return ranges;
+}
+
+LinearHashMap::LinearHashMap(std::uint32_t initial_buckets,
+                             std::uint64_t positions)
+    : n0_(initial_buckets), positions_(positions) {
+  EHJA_CHECK(initial_buckets > 0);
+  EHJA_CHECK(positions >= initial_buckets);
+  bounds_.reserve(initial_buckets + 1);
+  for (std::uint32_t j = 0; j <= initial_buckets; ++j) {
+    bounds_.push_back(positions * j / initial_buckets);
+  }
+}
+
+std::size_t LinearHashMap::bucket_index_of(std::uint64_t pos) const {
+  EHJA_CHECK(pos < positions_);
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), pos);
+  return static_cast<std::size_t>(it - bounds_.begin()) - 1;
+}
+
+PosRange LinearHashMap::bucket_range(std::size_t index) const {
+  EHJA_CHECK(index + 1 < bounds_.size());
+  return PosRange{bounds_[index], bounds_[index + 1]};
+}
+
+std::size_t LinearHashMap::next_split_index() const {
+  // At level i with pointer s, the first s level-i buckets have each become
+  // two half-width buckets, so level-i bucket s sits at list index 2s.
+  return 2 * static_cast<std::size_t>(split_ptr_);
+}
+
+bool LinearHashMap::split_possible() const {
+  const std::size_t idx = next_split_index();
+  return idx + 1 < bounds_.size() && bounds_[idx + 1] - bounds_[idx] >= 2;
+}
+
+LinearHashMap::Split LinearHashMap::split_next() {
+  EHJA_CHECK_MSG(split_possible(), "split pointer bucket too narrow to split");
+  const std::size_t idx = next_split_index();
+  const std::uint64_t lo = bounds_[idx];
+  const std::uint64_t hi = bounds_[idx + 1];
+  const std::uint64_t mid = lo + (hi - lo) / 2;
+  bounds_.insert(bounds_.begin() + static_cast<std::ptrdiff_t>(idx) + 1, mid);
+
+  Split split;
+  split.parent_index = idx;
+  split.new_index = idx + 1;
+  split.kept = PosRange{lo, mid};
+  split.moved = PosRange{mid, hi};
+
+  ++split_ptr_;
+  if (split_ptr_ == (n0_ << level_)) {
+    split_ptr_ = 0;
+    ++level_;
+  }
+  return split;
+}
+
+}  // namespace ehja

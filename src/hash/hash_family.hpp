@@ -1,0 +1,108 @@
+// Hash-position space and the linear-hashing address family.
+//
+// Position space.  A join attribute maps to a *hash table position* by its
+// high bits: pos(k) = k >> (64 - kPositionBits).  This map is order
+// preserving on purpose: the paper's Gaussian experiments show skewed join
+// attributes concentrating in a few buckets, which only happens when the
+// key->position map preserves the distribution's shape (a uniformizing hash
+// would erase the skew and with it the entire phenomenon under study).
+// Contiguous position ranges are the unit of bucket assignment, replication
+// and reshuffling.
+//
+// Linear hashing (split-based algorithm, paper ss4.2.1).  Following
+// Litwin'80/Larson'88 as adapted by Amin et al., the position space is cut
+// into N0 initial buckets; a *split pointer* s and level i determine the
+// active pair of hash functions:
+//     h_i(pos)     = bucket of pos among N0*2^i equal ranges
+//     h_{i+1}(pos) = bucket of pos among N0*2^{i+1} equal ranges
+// Buckets before the pointer have been split (addressed by h_{i+1}); buckets
+// at or past it are addressed by h_i.  On overflow, the bucket *at the
+// pointer* is split -- not necessarily the one that overflowed -- and the
+// pointer advances; when it reaches the end of the level, the level
+// increments.  At most two hash functions are live at any instant; a
+// scheduler-side barrier pointer (core/scheduler) keeps a bucket from being
+// split while a split is in flight.
+//
+// LinearHashMap tracks the resulting ordered list of disjoint position
+// ranges.  The range-based formulation makes h_i trivially consistent with
+// the contiguous-range world of the other algorithms and keeps lookup O(log
+// #buckets) by binary search (#buckets <= pool size, so effectively O(1) --
+// the paper's point about not needing a DHT).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ehja {
+
+inline constexpr unsigned kPositionBits = 20;
+inline constexpr std::uint64_t kPositionCount = 1ull << kPositionBits;
+
+/// Hash-table position of a join attribute.
+inline std::uint64_t position_of(std::uint64_t key) {
+  return key >> (64 - kPositionBits);
+}
+
+/// Half-open range of hash-table positions.
+struct PosRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool contains(std::uint64_t pos) const { return pos >= lo && pos < hi; }
+  std::uint64_t width() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+
+  friend bool operator==(const PosRange&, const PosRange&) = default;
+};
+
+class LinearHashMap {
+ public:
+  /// `initial_buckets` equal-width buckets over [0, positions).
+  explicit LinearHashMap(std::uint32_t initial_buckets,
+                         std::uint64_t positions = kPositionCount);
+
+  std::uint32_t initial_buckets() const { return n0_; }
+  std::uint32_t level() const { return level_; }
+  std::uint32_t split_ptr() const { return split_ptr_; }
+  std::size_t bucket_count() const { return bounds_.size() - 1; }
+
+  /// Index (in the ordered bucket list) of the bucket holding `pos`.
+  std::size_t bucket_index_of(std::uint64_t pos) const;
+  PosRange bucket_range(std::size_t index) const;
+
+  /// True while a further split is representable (the bucket at the pointer
+  /// is at least two positions wide).
+  bool split_possible() const;
+
+  struct Split {
+    std::size_t parent_index;  // list index of the split bucket (pre-split)
+    std::size_t new_index;     // list index of the upper half (post-split)
+    PosRange kept;             // lower half, stays with the parent owner
+    PosRange moved;            // upper half, migrates to the new node
+  };
+
+  /// Perform the next split (at the split pointer) and advance the pointer;
+  /// the level increments when the pointer wraps.
+  Split split_next();
+
+  /// The bucket list index the next split will target.
+  std::size_t next_split_index() const;
+
+  /// Ordered bucket boundaries (size bucket_count()+1); bounds()[0] == 0 and
+  /// bounds().back() == positions.
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+
+ private:
+  std::uint32_t n0_;
+  std::uint64_t positions_;
+  std::uint32_t level_ = 0;
+  std::uint32_t split_ptr_ = 0;
+  std::vector<std::uint64_t> bounds_;
+};
+
+/// The initial equal partitioning shared by all four algorithms: bucket j of
+/// N covers [positions*j/N, positions*(j+1)/N).
+std::vector<PosRange> equal_ranges(std::uint32_t buckets,
+                                   std::uint64_t positions = kPositionCount);
+
+}  // namespace ehja

@@ -1,0 +1,119 @@
+#include "hash/local_hash_table.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+namespace {
+
+bool key_less(const Tuple& a, const Tuple& b) { return a.key < b.key; }
+
+/// Comparisons a binary search over n sorted keys performs (ceil(log2)+1).
+std::uint64_t search_comparisons(std::size_t n) {
+  std::uint64_t comparisons = 1;
+  while (n > 1) {
+    n >>= 1;
+    ++comparisons;
+  }
+  return comparisons;
+}
+
+}  // namespace
+
+LocalHashTable::LocalHashTable(Schema schema, PosRange range)
+    : schema_(schema), range_(range) {
+  EHJA_CHECK(!range.empty());
+  chains_.resize(static_cast<std::size_t>(range.width()));
+}
+
+void LocalHashTable::insert(const Tuple& t) {
+  const std::uint64_t pos = position_of(t.key);
+  EHJA_CHECK_MSG(range_.contains(pos), "insert outside owned range");
+  Chain& c = chain(pos);
+  c.tuples.push_back(t);
+  c.sorted = false;
+  ++tuple_count_;
+  footprint_bytes_ += tuple_footprint(schema_);
+}
+
+LocalHashTable::ProbeResult LocalHashTable::probe(const Tuple& s) {
+  const std::uint64_t pos = position_of(s.key);
+  EHJA_CHECK_MSG(range_.contains(pos), "probe outside owned range");
+  Chain& c = chain(pos);
+  ProbeResult result;
+  if (c.tuples.empty()) {
+    result.comparisons = 1;
+    return result;
+  }
+  if (!c.sorted) {
+    // One deferred sort after the build phase models the local index a real
+    // implementation maintains; its cost is part of the insert charge.
+    std::sort(c.tuples.begin(), c.tuples.end(), key_less);
+    c.sorted = true;
+  }
+  const Tuple needle{0, s.key};
+  auto [lo, hi] = std::equal_range(c.tuples.begin(), c.tuples.end(), needle,
+                                   key_less);
+  result.comparisons = search_comparisons(c.tuples.size());
+  for (auto it = lo; it != hi; ++it) {
+    ++result.matches;
+    ++result.comparisons;
+    result.checksum_delta += match_signature(it->id, s.id);
+  }
+  return result;
+}
+
+std::vector<Tuple> LocalHashTable::extract_range(const PosRange& sub) {
+  EHJA_CHECK(sub.lo >= range_.lo && sub.hi <= range_.hi);
+  std::vector<Tuple> extracted;
+  for (std::uint64_t pos = sub.lo; pos < sub.hi; ++pos) {
+    Chain& c = chain(pos);
+    if (c.tuples.empty()) continue;
+    extracted.insert(extracted.end(), c.tuples.begin(), c.tuples.end());
+    tuple_count_ -= c.tuples.size();
+    footprint_bytes_ -= c.tuples.size() * tuple_footprint(schema_);
+    Chain().tuples.swap(c.tuples);  // release chain storage
+    c.sorted = false;
+  }
+  return extracted;
+}
+
+void LocalHashTable::set_range(const PosRange& next) {
+  EHJA_CHECK(!next.empty());
+  std::vector<Chain> fresh(static_cast<std::size_t>(next.width()));
+  std::uint64_t retained = 0;
+  for (std::uint64_t pos = range_.lo; pos < range_.hi; ++pos) {
+    Chain& c = chain(pos);
+    if (c.tuples.empty()) continue;
+    EHJA_CHECK_MSG(next.contains(pos),
+                   "set_range would orphan retained tuples");
+    retained += c.tuples.size();
+    fresh[static_cast<std::size_t>(pos - next.lo)] = std::move(c);
+  }
+  EHJA_CHECK(retained == tuple_count_);
+  range_ = next;
+  chains_ = std::move(fresh);
+}
+
+BinnedHistogram LocalHashTable::histogram(std::size_t bins) const {
+  BinnedHistogram hist(range_.lo, range_.hi, bins);
+  for (std::uint64_t pos = range_.lo; pos < range_.hi; ++pos) {
+    const Chain& c = chain(pos);
+    if (!c.tuples.empty()) hist.add(pos, c.tuples.size());
+  }
+  return hist;
+}
+
+void LocalHashTable::clear() {
+  for (Chain& c : chains_) {
+    std::vector<Tuple>().swap(c.tuples);
+    c.sorted = false;
+  }
+  tuple_count_ = 0;
+  footprint_bytes_ = 0;
+}
+
+}  // namespace ehja

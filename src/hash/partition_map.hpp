@@ -1,0 +1,77 @@
+// Routing table shared between the scheduler and the data sources.
+//
+// A PartitionMap is an ordered list of disjoint position ranges covering the
+// whole position space, each owned by one or more join processes:
+//   * build phase: every range has exactly one *active* owner (for a
+//     replicated range, the newest replica -- the only one still accepting
+//     inserts);
+//   * probe phase, replication-based algorithm: a range may list several
+//     owners; probe tuples for it are broadcast to all of them (paper
+//     ss4.2.2 / Fig. 1c);
+//   * probe phase, split/hybrid/OOC: all ranges are single-owner again.
+//
+// The scheduler mutates its authoritative copy and broadcasts it to the data
+// sources on every expansion ("the id of node w and its hash table range is
+// broadcast to the data sources", ss4.1.1); wire_bytes() is what that
+// broadcast costs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_family.hpp"
+#include "runtime/message.hpp"
+
+namespace ehja {
+
+class PartitionMap {
+ public:
+  struct Entry {
+    PosRange range;
+    std::vector<ActorId> owners;  // owners[0] is the active owner
+
+    ActorId active_owner() const { return owners.front(); }
+  };
+
+  PartitionMap() = default;
+
+  /// Initial configuration: `owners[j]` owns equal range j of owners.size().
+  static PartitionMap initial(const std::vector<ActorId>& owners,
+                              std::uint64_t positions = kPositionCount);
+
+  /// Rebuild from explicit entries (must be sorted, disjoint and covering;
+  /// checked).
+  static PartitionMap from_entries(std::vector<Entry> entries,
+                                   std::uint64_t positions = kPositionCount);
+
+  const Entry& entry_for(std::uint64_t pos) const;
+  std::size_t index_for(std::uint64_t pos) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t positions() const { return positions_; }
+
+  /// Total distinct owner slots (counting replicas); the probe fan-out.
+  std::size_t owner_slots() const;
+
+  /// --- scheduler-side mutations ---
+  /// Split entry `index` at `mid`; the upper half goes to `new_owner`.
+  void split_entry(std::size_t index, std::uint64_t mid, ActorId new_owner);
+  /// Push a new active replica for the entry at `index`.
+  void add_replica(std::size_t index, ActorId new_owner);
+  /// Replace the owners of entry `index` (hybrid reshuffle result).
+  void replace_entry(std::size_t index, std::vector<Entry> replacements);
+
+  /// Serialized size for broadcast cost: 16 B per range + 4 B per owner.
+  std::size_t wire_bytes() const;
+
+  /// Validate invariants (sorted, disjoint, covering, non-empty owners).
+  void check() const;
+
+ private:
+  std::uint64_t positions_ = kPositionCount;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ehja

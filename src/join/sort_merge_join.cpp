@@ -1,0 +1,44 @@
+#include "join/sort_merge_join.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ehja {
+
+JoinResult sort_merge_join(const Relation& build, const Relation& probe) {
+  std::vector<Tuple> r = build.tuples();
+  std::vector<Tuple> s = probe.tuples();
+  const auto by_key = [](const Tuple& a, const Tuple& b) {
+    return a.key < b.key;
+  };
+  std::sort(r.begin(), r.end(), by_key);
+  std::sort(s.begin(), s.end(), by_key);
+
+  JoinResult result;
+  std::size_t i = 0, j = 0;
+  while (i < r.size() && j < s.size()) {
+    if (r[i].key < s[j].key) {
+      ++i;
+    } else if (s[j].key < r[i].key) {
+      ++j;
+    } else {
+      // Equal-key run on both sides: emit the cross product.
+      const std::uint64_t key = r[i].key;
+      std::size_t i_end = i;
+      while (i_end < r.size() && r[i_end].key == key) ++i_end;
+      std::size_t j_end = j;
+      while (j_end < s.size() && s[j_end].key == key) ++j_end;
+      for (std::size_t a = i; a < i_end; ++a) {
+        for (std::size_t b = j; b < j_end; ++b) {
+          ++result.matches;
+          result.checksum += match_signature(r[a].id, s[b].id);
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return result;
+}
+
+}  // namespace ehja

@@ -1,0 +1,21 @@
+// Serial sort-merge equi-join -- a second, structurally independent oracle.
+//
+// The integration tests compare every distributed run against
+// serial_hash_join(); this sort-merge implementation shares no code or data
+// structure with any hash-based path, so agreement between the two oracles
+// rules out a common-mode bug in the reference itself.  (Li, Gao &
+// Snodgrass's sort-merge work is the paper's ss3 point of comparison for
+// skew handling.)
+#pragma once
+
+#include "join/serial_join.hpp"
+#include "relation/relation.hpp"
+
+namespace ehja {
+
+/// Join `build` and `probe` on the key attribute by sorting both sides and
+/// merging; duplicate keys produce the full cross product, exactly like the
+/// hash-based joins.
+JoinResult sort_merge_join(const Relation& build, const Relation& probe);
+
+}  // namespace ehja

@@ -1,0 +1,65 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+NetworkModel::NetworkModel(std::size_t node_count, LinkConfig config)
+    : config_(config) {
+  EHJA_CHECK(node_count > 0);
+  EHJA_CHECK(config_.bandwidth_bytes_per_sec > 0);
+  tx_free_.assign(node_count, 0.0);
+  rx_free_.assign(node_count, 0.0);
+  stats_.tx_bytes.assign(node_count, 0);
+  stats_.rx_bytes.assign(node_count, 0);
+}
+
+NetworkModel::Delivery NetworkModel::plan(NodeId src, NodeId dst,
+                                          std::size_t bytes, SimTime ready) {
+  EHJA_CHECK(src >= 0 && static_cast<std::size_t>(src) < tx_free_.size());
+  EHJA_CHECK(dst >= 0 && static_cast<std::size_t>(dst) < rx_free_.size());
+  ++stats_.messages;
+  stats_.bytes += bytes;
+  stats_.tx_bytes[static_cast<std::size_t>(src)] += bytes;
+  stats_.rx_bytes[static_cast<std::size_t>(dst)] += bytes;
+
+  if (src == dst) {
+    // Loopback: no NIC reservation, just a copy cost.
+    const SimTime done =
+        ready + static_cast<double>(bytes) * config_.loopback_sec_per_byte;
+    return Delivery{done, done};
+  }
+
+  const double wire_bytes =
+      static_cast<double>(bytes) + config_.per_message_overhead_bytes;
+  const double duration = wire_bytes / config_.bandwidth_bytes_per_sec;
+  SimTime& tx = tx_free_[static_cast<std::size_t>(src)];
+  SimTime& rx = rx_free_[static_cast<std::size_t>(dst)];
+  SimTime start = std::max({ready, tx, rx});
+  if (config_.topology == Topology::kSharedBus) {
+    // One collision domain: every transfer serializes on the medium.
+    start = std::max(start, bus_free_);
+  }
+  const SimTime end = start + duration;
+  tx = end;
+  rx = end;
+  if (config_.topology == Topology::kSharedBus) bus_free_ = end;
+  return Delivery{end, end + config_.latency_sec};
+}
+
+SimTime NetworkModel::tx_free(NodeId node) const {
+  return tx_free_[static_cast<std::size_t>(node)];
+}
+
+SimTime NetworkModel::rx_free(NodeId node) const {
+  return rx_free_[static_cast<std::size_t>(node)];
+}
+
+void NetworkModel::stall_rx(NodeId node, SimTime until) {
+  SimTime& rx = rx_free_[static_cast<std::size_t>(node)];
+  rx = std::max(rx, until);
+}
+
+}  // namespace ehja

@@ -1,0 +1,3 @@
+#include "relation/chunk.hpp"
+
+// Header-only; anchors the module.

@@ -1,0 +1,36 @@
+// Chunked tuple transport.
+//
+// Data sources batch tuples into fixed-capacity chunks before sending them
+// to join processes (paper: "per chunk = 10000 tuples").  Figures 4 and 11
+// measure communication volume in these chunks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "relation/tuple.hpp"
+
+namespace ehja {
+
+struct Chunk {
+  RelTag rel = RelTag::kR;
+  std::vector<Tuple> tuples;
+
+  std::size_t size() const { return tuples.size(); }
+  bool empty() const { return tuples.empty(); }
+
+  /// On-wire size: a small header plus the full (payload-included) tuple
+  /// encoding.
+  std::size_t wire_bytes(const Schema& schema) const {
+    return 64 + tuples.size() * schema.tuple_bytes;
+  }
+};
+
+/// Number of transport chunks that `tuples` tuples occupy, rounding up --
+/// the unit of Figures 4 and 11.
+inline std::uint64_t chunks_for(std::uint64_t tuples,
+                                std::uint64_t tuples_per_chunk) {
+  return (tuples + tuples_per_chunk - 1) / tuples_per_chunk;
+}
+
+}  // namespace ehja

@@ -1,0 +1,9 @@
+#include "relation/relation.hpp"
+
+namespace ehja {
+
+void Relation::append(const Chunk& chunk) {
+  tuples_.insert(tuples_.end(), chunk.tuples.begin(), chunk.tuples.end());
+}
+
+}  // namespace ehja

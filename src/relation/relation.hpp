@@ -1,0 +1,42 @@
+// An in-memory relation, used by the serial reference join and the tests.
+// The distributed algorithms never materialize whole relations; they stream
+// chunks from the data sources.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/chunk.hpp"
+#include "relation/tuple.hpp"
+
+namespace ehja {
+
+class Relation {
+ public:
+  Relation() = default;
+  Relation(RelTag tag, Schema schema) : tag_(tag), schema_(schema) {}
+
+  RelTag tag() const { return tag_; }
+  const Schema& schema() const { return schema_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  void reserve(std::size_t n) { tuples_.reserve(n); }
+  void add(Tuple t) { tuples_.push_back(t); }
+  void append(const Chunk& chunk);
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const Tuple& operator[](std::size_t i) const { return tuples_[i]; }
+
+  /// Total bytes this relation occupies on the wire / on disk.
+  std::uint64_t total_bytes() const {
+    return static_cast<std::uint64_t>(tuples_.size()) * schema_.tuple_bytes;
+  }
+
+ private:
+  RelTag tag_ = RelTag::kR;
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace ehja

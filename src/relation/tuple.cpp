@@ -1,0 +1,3 @@
+#include "relation/tuple.hpp"
+
+// Header-only; anchors the module.

@@ -1,0 +1,3 @@
+#include "runtime/actor.hpp"
+
+// Actor/Runtime interfaces are header-only; this anchors the module.

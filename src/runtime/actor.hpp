@@ -1,0 +1,111 @@
+// Actor programming model.
+//
+// The paper's three components -- scheduler, data sources, join processes
+// (ss4.1) -- are actors: event handlers driven by message delivery.  Actors
+// are written once against the abstract Runtime and run unchanged on either
+// the deterministic discrete-event runtime (SimRuntime, virtual time, used
+// for all figures) or the thread runtime (ThreadRuntime, real concurrency,
+// used to shake out protocol races).
+//
+// Handler contract:
+//   * on_start() runs once when the actor is spawned.
+//   * on_message() runs once per delivered message, serialized per node.
+//   * charge(sec) accounts CPU work at the actor's node; under the DES it
+//     advances the node's busy time, under threads it is a no-op.
+//   * send() transfers a message with network cost; defer() re-enqueues a
+//     message to self with no cost (used to slice long local work so that
+//     control messages interleave, e.g. a data source pausing generation
+//     when the scheduler announces a new join node).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_spec.hpp"
+#include "net/network.hpp"
+#include "runtime/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace ehja {
+
+class Runtime;
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  virtual void on_start() {}
+  virtual void on_message(const Message& msg) = 0;
+  /// Short tag for log lines.
+  virtual std::string name() const { return "actor"; }
+
+  ActorId id() const { return id_; }
+  NodeId node() const { return node_; }
+
+ protected:
+  Runtime& rt() const {
+    EHJA_CHECK_MSG(rt_ != nullptr, "actor not yet spawned");
+    return *rt_;
+  }
+  void send(ActorId to, Message msg);
+  void defer(Message msg);
+  void charge(double cpu_seconds);
+  SimTime now() const;
+
+ private:
+  friend class SimRuntime;
+  friend class ThreadRuntime;
+  friend class HarnessRuntime;  // tests/actor_harness.hpp
+  void bind(Runtime* rt, ActorId id, NodeId node) {
+    rt_ = rt;
+    id_ = id;
+    node_ = node;
+  }
+
+  Runtime* rt_ = nullptr;
+  ActorId id_ = kInvalidActor;
+  NodeId node_ = -1;
+};
+
+/// Abstract execution environment shared by both runtimes.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Register an actor on `node`.  Legal before run() and from inside a
+  /// running handler (the scheduler spawns join processes dynamically).
+  virtual ActorId spawn(NodeId node, std::unique_ptr<Actor> actor) = 0;
+
+  virtual void send(Actor& from, ActorId to, Message msg) = 0;
+  virtual void defer(Actor& from, Message msg) = 0;
+  virtual void charge(Actor& from, double cpu_seconds) = 0;
+  virtual SimTime actor_now(const Actor& actor) const = 0;
+
+  /// Drive to completion: the DES runs the event queue dry; the thread
+  /// runtime blocks until request_stop().
+  virtual void run() = 0;
+  virtual void request_stop() = 0;
+
+  virtual const ClusterSpec& cluster() const = 0;
+  virtual std::size_t actor_count() const = 0;
+
+  /// Borrow a spawned actor (driver-side result collection after run()).
+  virtual Actor& actor(ActorId id) = 0;
+};
+
+inline void Actor::send(ActorId to, Message msg) {
+  msg.from = id_;
+  rt().send(*this, to, std::move(msg));
+}
+
+inline void Actor::defer(Message msg) {
+  msg.from = id_;
+  rt().defer(*this, std::move(msg));
+}
+
+inline void Actor::charge(double cpu_seconds) { rt().charge(*this, cpu_seconds); }
+
+inline SimTime Actor::now() const { return rt().actor_now(*this); }
+
+}  // namespace ehja

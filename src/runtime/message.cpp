@@ -1,0 +1,3 @@
+#include "runtime/message.hpp"
+
+// Message is header-only; this translation unit anchors the module.

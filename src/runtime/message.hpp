@@ -1,0 +1,63 @@
+// Typed messages exchanged between actors.
+//
+// A Message carries an integer tag (the core layer defines an enum over it),
+// a shared immutable payload, and a wire size used by the network cost
+// model.  Payloads are shared_ptr<const any> so that a broadcast reuses one
+// allocation across all recipients -- important when a probe chunk fans out
+// to every replica of a hash range.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+using ActorId = std::int32_t;
+inline constexpr ActorId kInvalidActor = -1;
+
+/// Wire size of a bare control message (header + a few fields).
+inline constexpr std::size_t kControlWireBytes = 48;
+
+struct Message {
+  int tag = 0;
+  ActorId from = kInvalidActor;
+  std::size_t wire_bytes = kControlWireBytes;
+  std::shared_ptr<const std::any> payload;
+
+  bool has_payload() const { return payload != nullptr; }
+
+  /// Typed access; aborts on tag/type confusion (protocol bug).
+  template <typename T>
+  const T& as() const {
+    EHJA_CHECK_MSG(payload != nullptr, "message has no payload");
+    const T* value = std::any_cast<T>(payload.get());
+    EHJA_CHECK_MSG(value != nullptr, "message payload type mismatch");
+    return *value;
+  }
+};
+
+/// Build a message carrying `value`.
+template <typename Tag, typename T>
+Message make_message(Tag tag, T value, std::size_t wire_bytes) {
+  Message msg;
+  msg.tag = static_cast<int>(tag);
+  msg.wire_bytes = wire_bytes;
+  msg.payload = std::make_shared<const std::any>(std::move(value));
+  return msg;
+}
+
+/// Build a payload-free control message.
+template <typename Tag>
+Message make_signal(Tag tag, std::size_t wire_bytes = kControlWireBytes) {
+  Message msg;
+  msg.tag = static_cast<int>(tag);
+  msg.wire_bytes = wire_bytes;
+  return msg;
+}
+
+}  // namespace ehja

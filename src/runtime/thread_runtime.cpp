@@ -1,0 +1,147 @@
+#include "runtime/thread_runtime.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+ThreadRuntime::ThreadRuntime(ClusterSpec spec)
+    : spec_(std::move(spec)), epoch_(std::chrono::steady_clock::now()) {}
+
+ThreadRuntime::~ThreadRuntime() {
+  request_stop();
+  std::scoped_lock lock(registry_mutex_);
+  for (auto& cell : cells_) {
+    if (cell->thread.joinable()) cell->thread.join();
+  }
+}
+
+ActorId ThreadRuntime::spawn(NodeId node, std::unique_ptr<Actor> actor) {
+  EHJA_CHECK(node >= 0 && static_cast<std::size_t>(node) < spec_.node_count());
+  Cell* cell = nullptr;
+  ActorId id = kInvalidActor;
+  {
+    std::scoped_lock lock(registry_mutex_);
+    id = static_cast<ActorId>(cells_.size());
+    actor->bind(this, id, node);
+    cells_.push_back(std::make_unique<Cell>());
+    cells_.back()->actor = std::move(actor);
+    cell = cells_.back().get();
+  }
+  if (running_.load(std::memory_order_acquire)) {
+    start_thread(*cell);
+  }
+  return id;
+}
+
+void ThreadRuntime::start_thread(Cell& cell) {
+  cell.thread = std::thread([this, &cell] { actor_main(cell); });
+}
+
+void ThreadRuntime::actor_main(Cell& cell) {
+  cell.actor->on_start();
+  while (true) {
+    Message msg;
+    {
+      std::unique_lock lock(cell.mutex);
+      cell.cv.wait(lock, [this, &cell] {
+        return !cell.mailbox.empty() || stop_.load(std::memory_order_acquire);
+      });
+      if (stop_.load(std::memory_order_acquire)) return;
+      msg = std::move(cell.mailbox.front());
+      cell.mailbox.pop_front();
+    }
+    cell.actor->on_message(msg);
+  }
+}
+
+void ThreadRuntime::send(Actor& /*from*/, ActorId to, Message msg) {
+  Cell* cell = nullptr;
+  {
+    std::scoped_lock lock(registry_mutex_);
+    EHJA_CHECK(to >= 0 && static_cast<std::size_t>(to) < cells_.size());
+    cell = cells_[static_cast<std::size_t>(to)].get();
+  }
+  {
+    std::scoped_lock lock(cell->mutex);
+    cell->mailbox.push_back(std::move(msg));
+  }
+  cell->cv.notify_one();
+}
+
+void ThreadRuntime::defer(Actor& from, Message msg) {
+  send(from, from.id(), std::move(msg));
+}
+
+void ThreadRuntime::charge(Actor& /*from*/, double /*cpu_seconds*/) {
+  // Wall-clock runtime: CPU cost is whatever the host actually spends.
+}
+
+SimTime ThreadRuntime::actor_now(const Actor& /*actor*/) const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+void ThreadRuntime::run() {
+  {
+    std::scoped_lock lock(registry_mutex_);
+    running_.store(true, std::memory_order_release);
+    for (auto& cell : cells_) {
+      if (!cell->thread.joinable()) start_thread(*cell);
+    }
+  }
+  std::unique_lock lock(stop_mutex_);
+  stop_cv_.wait(lock, [this] { return stop_.load(std::memory_order_acquire); });
+  // Threads observe stop_ via their mailbox condition variables.
+  {
+    std::scoped_lock reg(registry_mutex_);
+    for (auto& cell : cells_) {
+      {
+        std::scoped_lock m(cell->mutex);
+      }
+      cell->cv.notify_all();
+    }
+    for (auto& cell : cells_) {
+      if (cell->thread.joinable()) cell->thread.join();
+    }
+  }
+}
+
+void ThreadRuntime::request_stop() {
+  // Idempotent and registry-lock-free on repeat calls: a second caller may
+  // be an actor thread racing run()'s join loop (which holds
+  // registry_mutex_), so it must not block on the registry.
+  //
+  // Each notification acquires (and immediately releases) the waiter's
+  // mutex between setting stop_ and notifying: a waiter that evaluated its
+  // wait predicate before stop_ was published is guaranteed to be blocked
+  // by the time the notify fires, so the wakeup cannot be lost.
+  const bool repeat = stop_.exchange(true, std::memory_order_acq_rel);
+  {
+    std::scoped_lock lock(stop_mutex_);
+  }
+  stop_cv_.notify_all();
+  if (repeat) return;
+  std::scoped_lock lock(registry_mutex_);
+  for (auto& cell : cells_) {
+    {
+      std::scoped_lock m(cell->mutex);
+    }
+    cell->cv.notify_all();
+  }
+}
+
+std::size_t ThreadRuntime::actor_count() const {
+  std::scoped_lock lock(registry_mutex_);
+  return cells_.size();
+}
+
+Actor& ThreadRuntime::actor(ActorId id) {
+  std::scoped_lock lock(registry_mutex_);
+  EHJA_CHECK(id >= 0 && static_cast<std::size_t>(id) < cells_.size());
+  return *cells_[static_cast<std::size_t>(id)]->actor;
+}
+
+}  // namespace ehja

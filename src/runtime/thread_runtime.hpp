@@ -1,0 +1,68 @@
+// Real-thread runtime.
+//
+// Runs the same actor code as SimRuntime on one thread per actor with
+// mutex-protected mailboxes.  There is no virtual time and no cost model --
+// charge() is a no-op and now() is wall-clock -- so it produces no figures;
+// its purpose is to demonstrate that the join protocol contains no hidden
+// reliance on the DES's cooperative scheduling: the integration tests run
+// every algorithm on both runtimes and require identical join results.
+//
+// Termination: unlike the DES (which stops when the event queue drains), a
+// thread runtime cannot observe global quiescence cheaply, so the protocol's
+// natural completion point calls Runtime::request_stop() (the driver's
+// scheduler does this when the probe phase finishes).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+#include "runtime/actor.hpp"
+
+namespace ehja {
+
+class ThreadRuntime final : public Runtime {
+ public:
+  explicit ThreadRuntime(ClusterSpec spec);
+  ~ThreadRuntime() override;
+
+  ActorId spawn(NodeId node, std::unique_ptr<Actor> actor) override;
+  void send(Actor& from, ActorId to, Message msg) override;
+  void defer(Actor& from, Message msg) override;
+  void charge(Actor& from, double cpu_seconds) override;
+  SimTime actor_now(const Actor& actor) const override;
+  void run() override;
+  void request_stop() override;
+  const ClusterSpec& cluster() const override { return spec_; }
+  std::size_t actor_count() const override;
+  Actor& actor(ActorId id) override;
+
+ private:
+  struct Cell {
+    std::unique_ptr<Actor> actor;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> mailbox;
+    std::thread thread;
+  };
+
+  void actor_main(Cell& cell);
+  void start_thread(Cell& cell);
+
+  ClusterSpec spec_;
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace ehja

@@ -1,0 +1,37 @@
+#include "sim/simulator.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+void Simulator::schedule_at(SimTime when, Callback fn) {
+  EHJA_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimTime Simulator::run() {
+  return run_until(std::numeric_limits<SimTime>::infinity());
+}
+
+SimTime Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the callback handle instead (std::function copy is cheap
+    // relative to the work each event performs).
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  return now_;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace ehja

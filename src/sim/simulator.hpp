@@ -1,0 +1,64 @@
+// Discrete-event simulation engine.
+//
+// Virtual time is a double in seconds.  Events are (time, sequence) ordered:
+// ties are broken by insertion order, which together with the deterministic
+// RNG streams makes every run bit-identical -- the property the determinism
+// test suite asserts and which lets the benches regenerate the paper's
+// figures exactly on every invocation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ehja {
+
+using SimTime = double;  // seconds of virtual time
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+  std::uint64_t events_pending() const { return queue_.size(); }
+
+  /// Schedule `fn` at absolute virtual time `when` (must be >= now()).
+  void schedule_at(SimTime when, Callback fn);
+
+  /// Schedule `fn` `delay` seconds from now.
+  void schedule_after(SimTime delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run until the event queue is empty.  Returns the final virtual time.
+  SimTime run();
+
+  /// Run until the queue is empty or virtual time would exceed `deadline`.
+  /// Events past the deadline stay queued.
+  SimTime run_until(SimTime deadline);
+
+  /// Drop all pending events (used by failure-injection tests).
+  void clear();
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ehja

@@ -1,0 +1,24 @@
+#include "storage/sim_disk.hpp"
+
+namespace ehja {
+
+double SimDisk::switch_cost(std::uint64_t stream_id) {
+  if (stream_id == last_stream_) return 0.0;
+  last_stream_ = stream_id;
+  ++seeks_;
+  return config_.seek_sec;
+}
+
+double SimDisk::write_cost(std::uint64_t stream_id, std::size_t bytes) {
+  bytes_written_ += bytes;
+  return switch_cost(stream_id) +
+         static_cast<double>(bytes) / config_.write_bytes_per_sec;
+}
+
+double SimDisk::read_cost(std::uint64_t stream_id, std::size_t bytes) {
+  bytes_read_ += bytes;
+  return switch_cost(stream_id) +
+         static_cast<double>(bytes) / config_.read_bytes_per_sec;
+}
+
+}  // namespace ehja

@@ -1,0 +1,44 @@
+// Local-disk time model.
+//
+// The out-of-core baseline (and any EHJA node that exhausts the potential
+// node pool) spills hash-table partitions to the node's local disk.  The
+// actual tuples stay in host memory (SpillFile below); SimDisk only accounts
+// virtual time: sequential bandwidth plus a seek charge whenever the disk
+// head switches between streams -- the pattern that makes interleaved
+// partition writes expensive on 2004 IDE disks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cluster/cost_model.hpp"
+
+namespace ehja {
+
+class SimDisk {
+ public:
+  explicit SimDisk(DiskConfig config) : config_(config) {}
+
+  /// Time to append `bytes` to stream `stream_id`.  Charges a seek when the
+  /// previous operation touched a different stream.
+  double write_cost(std::uint64_t stream_id, std::size_t bytes);
+
+  /// Time to read `bytes` sequentially from stream `stream_id`.
+  double read_cost(std::uint64_t stream_id, std::size_t bytes);
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t seeks() const { return seeks_; }
+  const DiskConfig& config() const { return config_; }
+
+ private:
+  double switch_cost(std::uint64_t stream_id);
+
+  DiskConfig config_;
+  std::uint64_t last_stream_ = UINT64_MAX;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t seeks_ = 0;
+};
+
+}  // namespace ehja

@@ -1,0 +1,34 @@
+#include "storage/spill_file.hpp"
+
+namespace ehja {
+
+double SpillFile::append(std::size_t bytes) {
+  total_bytes_ += bytes;
+  buffered_ += bytes;
+  double cost = 0.0;
+  const std::size_t cap = disk_->config().io_buffer_bytes;
+  while (buffered_ >= cap) {
+    cost += disk_->write_cost(stream_id_, cap);
+    buffered_ -= cap;
+  }
+  return cost;
+}
+
+double SpillFile::flush() {
+  if (buffered_ == 0) return 0.0;
+  const double cost = disk_->write_cost(stream_id_, buffered_);
+  buffered_ = 0;
+  return cost;
+}
+
+double SpillFile::scan_all() {
+  double cost = flush();
+  cost += disk_->read_cost(stream_id_, total_bytes_);
+  return cost;
+}
+
+double SpillFile::scan(std::size_t bytes) {
+  return disk_->read_cost(stream_id_, bytes);
+}
+
+}  // namespace ehja

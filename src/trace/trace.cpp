@@ -1,0 +1,59 @@
+#include "trace/trace.hpp"
+
+namespace ehja {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPhase: return "phase";
+    case TraceKind::kExpansion: return "expansion";
+    case TraceKind::kMemoryFull: return "memory_full";
+    case TraceKind::kSplitOp: return "split_op";
+    case TraceKind::kHandoffOp: return "handoff_op";
+    case TraceKind::kReshuffle: return "reshuffle";
+    case TraceKind::kSpillSwitch: return "spill_switch";
+    case TraceKind::kMemSample: return "mem_sample";
+    case TraceKind::kDrainRound: return "drain_round";
+  }
+  return "?";
+}
+
+void TraceSink::emit(SimTime time, TraceKind kind, std::int64_t a,
+                     std::int64_t b, std::string detail) {
+  std::scoped_lock lock(mutex_);
+  events_.push_back(TraceEvent{time, kind, a, b, std::move(detail)});
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceSink::size() const {
+  std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceSink::of_kind(TraceKind kind) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+void TraceSink::write_csv(std::ostream& os) const {
+  std::scoped_lock lock(mutex_);
+  os << "time,kind,a,b,detail\n";
+  for (const TraceEvent& e : events_) {
+    os << e.time << ',' << trace_kind_name(e.kind) << ',' << e.a << ','
+       << e.b << ',' << e.detail << '\n';
+  }
+}
+
+void TraceSink::clear() {
+  std::scoped_lock lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace ehja

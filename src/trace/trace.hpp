@@ -1,0 +1,67 @@
+// Run tracing: a time-stamped event log plus per-node time series.
+//
+// The scheduler and join processes emit trace points (phase transitions,
+// expansions, memory samples, spills); benches and the CLI can dump the
+// trace as CSV to study *when* things happened, not just aggregate totals.
+// Tracing is opt-in (a TraceSink pointer in the config); when absent the
+// emit calls are a branch and return.
+//
+// Thread-safety: SimRuntime is single-threaded; ThreadRuntime emits from
+// many actor threads, so the sink serializes with a mutex.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ehja {
+
+enum class TraceKind : std::uint8_t {
+  kPhase,       // scheduler phase transition; detail = phase name
+  kExpansion,   // new join node recruited; a = requester, b = fresh actor
+  kMemoryFull,  // a = actor, b = footprint bytes
+  kSplitOp,     // a = parent actor, b = moved tuples
+  kHandoffOp,   // a = frozen actor, b = replica actor
+  kReshuffle,   // a = set id, b = members
+  kSpillSwitch, // a = actor
+  kMemSample,   // a = actor, b = footprint bytes
+  kDrainRound,  // a = epoch, b = received total
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  SimTime time = 0.0;
+  TraceKind kind = TraceKind::kPhase;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::string detail;
+};
+
+class TraceSink {
+ public:
+  void emit(SimTime time, TraceKind kind, std::int64_t a = 0,
+            std::int64_t b = 0, std::string detail = {});
+
+  /// Snapshot of everything recorded so far.
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+
+  /// Events of one kind, in emission order.
+  std::vector<TraceEvent> of_kind(TraceKind kind) const;
+
+  /// CSV: time,kind,a,b,detail
+  void write_csv(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ehja

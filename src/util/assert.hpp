@@ -1,0 +1,35 @@
+// Lightweight always-on invariant checks.
+//
+// EHJA_CHECK aborts with a diagnostic when an invariant is violated.  The
+// simulator and the join protocol lean on these heavily: a protocol bug that
+// silently drops a chunk would otherwise surface only as a subtly wrong join
+// cardinality much later.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ehja::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "EHJA_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " -- " : "", msg);
+  std::abort();
+}
+
+}  // namespace ehja::detail
+
+#define EHJA_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::ehja::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+    }                                                                  \
+  } while (0)
+
+#define EHJA_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::ehja::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                  \
+  } while (0)

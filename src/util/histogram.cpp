@@ -1,0 +1,53 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+BinnedHistogram::BinnedHistogram(std::uint64_t lo, std::uint64_t hi,
+                                 std::size_t bins)
+    : lo_(lo), hi_(hi) {
+  EHJA_CHECK(hi > lo);
+  EHJA_CHECK(bins > 0);
+  const std::uint64_t span = hi - lo;
+  const std::size_t effective_bins =
+      static_cast<std::size_t>(std::min<std::uint64_t>(bins, span));
+  width_ = span / effective_bins;
+  EHJA_CHECK(width_ >= 1);
+  counts_.assign(effective_bins, 0);
+}
+
+void BinnedHistogram::add(std::uint64_t position, std::uint64_t weight) {
+  counts_[bin_of(position)] += weight;
+  total_ += weight;
+}
+
+void BinnedHistogram::merge(const BinnedHistogram& other) {
+  EHJA_CHECK_MSG(same_geometry(other), "histogram geometry mismatch in merge");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t BinnedHistogram::bin_lo(std::size_t bin) const {
+  EHJA_CHECK(bin < counts_.size());
+  return lo_ + width_ * bin;
+}
+
+std::uint64_t BinnedHistogram::bin_hi(std::size_t bin) const {
+  EHJA_CHECK(bin < counts_.size());
+  return bin + 1 == counts_.size() ? hi_ : lo_ + width_ * (bin + 1);
+}
+
+std::size_t BinnedHistogram::bin_of(std::uint64_t position) const {
+  EHJA_CHECK_MSG(position >= lo_ && position < hi_,
+                 "position outside histogram range");
+  const std::size_t bin = static_cast<std::size_t>((position - lo_) / width_);
+  // Positions in the remainder tail land past the last bin; clamp them in.
+  return std::min(bin, counts_.size() - 1);
+}
+
+}  // namespace ehja

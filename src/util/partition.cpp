@@ -1,0 +1,49 @@
+#include "util/partition.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+PartitionResult greedy_contiguous_partition(
+    const std::vector<std::uint64_t>& weights, std::size_t parts) {
+  EHJA_CHECK(parts >= 1);
+  PartitionResult result;
+  result.cuts.reserve(parts - 1);
+  result.part_weights.assign(parts, 0);
+
+  const std::uint64_t total =
+      std::accumulate(weights.begin(), weights.end(), std::uint64_t{0});
+
+  std::size_t part = 0;
+  std::uint64_t closed = 0;  // weight placed into already-closed parts
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    // Close the current part when it has reached its fair share of what the
+    // remaining parts (current included) must cover.  Using the *remaining*
+    // ideal (rather than total/parts) keeps later parts from starving after
+    // an oversized early bin.
+    if (part + 1 < parts && result.part_weights[part] > 0) {
+      const std::uint64_t remaining_total = total - closed;
+      const std::size_t remaining_parts = parts - part;
+      const double ideal =
+          static_cast<double>(remaining_total) / remaining_parts;
+      if (static_cast<double>(result.part_weights[part]) +
+              static_cast<double>(weights[i]) / 2.0 >
+          ideal) {
+        result.cuts.push_back(i);
+        closed += result.part_weights[part];
+        ++part;
+      }
+    }
+    result.part_weights[part] += weights[i];
+  }
+  // Pad with empty parts when the sweep used fewer than `parts` groups.
+  while (result.cuts.size() + 1 < parts) {
+    result.cuts.push_back(weights.size());
+  }
+  EHJA_CHECK(result.cuts.size() + 1 == parts);
+  return result;
+}
+
+}  // namespace ehja

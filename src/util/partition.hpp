@@ -1,0 +1,32 @@
+// Greedy contiguous partitioning of a weight sequence.
+//
+// Used by the hybrid algorithm's reshuffling step: "the hash table array is
+// partitioned into k contiguous sub-arrays so that the total number of
+// entries in each array is equal" (paper ss4.2.3).  Exact equality is rarely
+// achievable, so we implement the simple greedy heuristic the paper cites: a
+// left-to-right sweep that closes a part once its weight reaches the ideal
+// per-part share.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ehja {
+
+struct PartitionResult {
+  /// `cuts[i]` is the first weight index of part i+1; parts are
+  /// [0, cuts[0]), [cuts[0], cuts[1]), ..., [cuts.back(), n).
+  /// Always exactly parts-1 cuts (some parts may be empty).
+  std::vector<std::size_t> cuts;
+  /// Total weight assigned to each part.
+  std::vector<std::uint64_t> part_weights;
+};
+
+/// Split `weights` into `parts` contiguous groups with near-equal weight.
+/// Guarantees: exactly `parts` groups, in order, covering all indices; the
+/// heaviest part exceeds the ideal share by at most the largest single
+/// weight (the classic greedy bound, asserted by the property tests).
+PartitionResult greedy_contiguous_partition(
+    const std::vector<std::uint64_t>& weights, std::size_t parts);
+
+}  // namespace ehja

@@ -1,0 +1,25 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace ehja {
+
+double SplitMix64::next_gaussian() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  // Box-Muller on two uniforms; reject u1 == 0 to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_ = radius * std::sin(theta);
+  have_spare_ = true;
+  return radius * std::cos(theta);
+}
+
+}  // namespace ehja

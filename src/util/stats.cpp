@@ -1,0 +1,60 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ehja {
+
+void RunningStats::add(double x) {
+  ++count_;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " min=" << min() << " mean=" << mean()
+     << " max=" << max() << " sd=" << stddev();
+  return os.str();
+}
+
+RunningStats summarize(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  return stats;
+}
+
+RunningStats summarize(const std::vector<std::uint64_t>& values) {
+  RunningStats stats;
+  for (std::uint64_t v : values) stats.add(static_cast<double>(v));
+  return stats;
+}
+
+}  // namespace ehja

@@ -1,0 +1,43 @@
+// Streaming summary statistics (min / max / mean / variance) used for the
+// per-node load-balance figures (paper Figs. 12-13) and by the benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ehja {
+
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// max/mean; 1.0 is perfect balance.  Returns 0 for an empty series.
+  double imbalance() const { return mean() > 0 ? max() / mean() : 0.0; }
+
+  std::string to_string() const;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford
+};
+
+/// Convenience: stats over a whole vector.
+RunningStats summarize(const std::vector<double>& values);
+RunningStats summarize(const std::vector<std::uint64_t>& values);
+
+}  // namespace ehja

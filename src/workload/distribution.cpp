@@ -1,0 +1,133 @@
+#include "workload/distribution.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+DistributionSpec DistributionSpec::Uniform() {
+  DistributionSpec spec;
+  spec.kind = DistKind::kUniform;
+  return spec;
+}
+
+DistributionSpec DistributionSpec::Gaussian(double mean, double sigma) {
+  DistributionSpec spec;
+  spec.kind = DistKind::kGaussian;
+  spec.mean = mean;
+  spec.sigma = sigma;
+  return spec;
+}
+
+DistributionSpec DistributionSpec::Zipf(double s, std::uint64_t domain) {
+  DistributionSpec spec;
+  spec.kind = DistKind::kZipf;
+  spec.zipf_s = s;
+  spec.domain = domain;
+  return spec;
+}
+
+DistributionSpec DistributionSpec::SmallDomain(std::uint64_t domain) {
+  DistributionSpec spec;
+  spec.kind = DistKind::kSmallDomain;
+  spec.domain = domain;
+  return spec;
+}
+
+std::string DistributionSpec::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case DistKind::kUniform:
+      os << "uniform";
+      break;
+    case DistKind::kGaussian:
+      os << "gaussian(mean=" << mean << ", sigma=" << sigma << ")";
+      break;
+    case DistKind::kZipf:
+      os << "zipf(s=" << zipf_s << ", domain=" << domain << ")";
+      break;
+    case DistKind::kSmallDomain:
+      os << "small_domain(" << domain << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::uint64_t key_from_unit(double v) {
+  EHJA_CHECK(v >= 0.0 && v < 1.0);
+  // 53 mantissa bits shifted to the top of the key; the low 11 bits are
+  // zero, which is irrelevant because bucket/position mapping uses the high
+  // bits (hash/hash_family.hpp).
+  return static_cast<std::uint64_t>(v * 0x1.0p53) << 11;
+}
+
+namespace {
+
+std::uint64_t sample_gaussian(const DistributionSpec& spec, SplitMix64& rng) {
+  // Rejection-resample values falling outside [0,1); with the paper's
+  // parameters (mean 0.5, sigma <= 1e-3) rejection is essentially never hit.
+  for (;;) {
+    const double v = spec.mean + spec.sigma * rng.next_gaussian();
+    if (v >= 0.0 && v < 1.0) return key_from_unit(v);
+  }
+}
+
+std::uint64_t sample_zipf(const DistributionSpec& spec, SplitMix64& rng) {
+  // Devroye's rejection method for bounded Zipf(s) over ranks 1..n.
+  const double s = spec.zipf_s;
+  const double n = static_cast<double>(spec.domain);
+  std::uint64_t rank = 0;
+  if (s == 1.0) {
+    // Harmonic case: invert the integral approximation.
+    const double hn = std::log(n) + 1.0;
+    for (;;) {
+      const double u = rng.next_double() * hn;
+      const double x = std::exp(u) - 1.0;  // cumulative ~ log(1+x)
+      rank = static_cast<std::uint64_t>(x) + 1;
+      if (rank >= 1 && rank <= spec.domain) break;
+    }
+  } else {
+    const double t = std::pow(n, 1.0 - s);
+    for (;;) {
+      const double u = rng.next_double();
+      const double x =
+          std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));  // inverse CDF of
+      rank = static_cast<std::uint64_t>(x);                // the continuous
+      if (rank >= 1 && rank <= spec.domain) break;         // envelope
+    }
+  }
+  // Scatter ranks through the key space so Zipf models *value* skew
+  // (duplicated hot values) rather than the Gaussian's *range* skew.
+  return SplitMix64::mix(rank);
+}
+
+std::uint64_t sample_small_domain(const DistributionSpec& spec,
+                                  SplitMix64& rng) {
+  EHJA_CHECK(spec.domain > 0);
+  const std::uint64_t value = rng.next_below(spec.domain);
+  // Evenly spaced exact keys: preserves uniform bucket spread while forcing
+  // key collisions between R and S.
+  const std::uint64_t stride = UINT64_MAX / spec.domain;
+  return value * stride;
+}
+
+}  // namespace
+
+std::uint64_t sample_key(const DistributionSpec& spec, SplitMix64& rng) {
+  switch (spec.kind) {
+    case DistKind::kUniform:
+      return rng.next_u64();
+    case DistKind::kGaussian:
+      return sample_gaussian(spec, rng);
+    case DistKind::kZipf:
+      return sample_zipf(spec, rng);
+    case DistKind::kSmallDomain:
+      return sample_small_domain(spec, rng);
+  }
+  EHJA_CHECK_MSG(false, "unreachable: bad DistKind");
+  return 0;
+}
+
+}  // namespace ehja

@@ -1,0 +1,55 @@
+// Join-attribute distributions.
+//
+// The paper generates join attributes from Uniform or Gaussian(mean, sigma)
+// distributions over a normalized value range; Gaussian with small sigma
+// models *range skew* (all hot values adjacent in the key space), which is
+// what stresses the bucket-overflow machinery.  We add Zipf (value skew:
+// heavy duplication of scattered hot values) and a small-domain distribution
+// (guaranteed duplicate keys, used by correctness tests to force non-empty
+// join output).
+//
+// Keys are 64-bit; a normalized value v in [0, 1) maps to the key space by
+// scaling, so the *shape* of the distribution is preserved across the hash
+// table's position space (see hash/hash_family.hpp for why that matters).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace ehja {
+
+enum class DistKind : std::uint8_t {
+  kUniform,      // uniform over the full key space
+  kGaussian,     // clipped Gaussian(mean, sigma) over [0,1) scaled up
+  kZipf,         // Zipf(s) over `domain` values scattered through key space
+  kSmallDomain,  // uniform over `domain` evenly spaced exact values
+};
+
+struct DistributionSpec {
+  DistKind kind = DistKind::kUniform;
+  /// Gaussian parameters on the normalized [0,1) value range.  The paper's
+  /// skew experiments use mean 0.5 with sigma 1e-3 and 1e-4.
+  double mean = 0.5;
+  double sigma = 1e-3;
+  /// Zipf skew parameter (s > 0) and value-domain size; also the domain for
+  /// kSmallDomain.
+  double zipf_s = 1.0;
+  std::uint64_t domain = 1u << 20;
+
+  static DistributionSpec Uniform();
+  static DistributionSpec Gaussian(double mean, double sigma);
+  static DistributionSpec Zipf(double s, std::uint64_t domain);
+  static DistributionSpec SmallDomain(std::uint64_t domain);
+
+  std::string to_string() const;
+};
+
+/// Map a normalized value in [0,1) to a 64-bit key, preserving order.
+std::uint64_t key_from_unit(double v);
+
+/// Draw one join-attribute key.
+std::uint64_t sample_key(const DistributionSpec& spec, SplitMix64& rng);
+
+}  // namespace ehja

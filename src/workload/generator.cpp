@@ -1,0 +1,42 @@
+#include "workload/generator.hpp"
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+std::uint64_t stream_id(RelTag tag, std::uint32_t source_index) {
+  return (static_cast<std::uint64_t>(tag) << 32) | source_index;
+}
+
+TupleStream::TupleStream(const RelationSpec& spec, std::uint64_t seed,
+                         std::uint32_t source_index,
+                         std::uint32_t source_count)
+    : dist_(spec.dist), rng_(seed, stream_id(spec.tag, source_index)) {
+  EHJA_CHECK(source_count > 0);
+  EHJA_CHECK(source_index < source_count);
+  begin_id_ = spec.tuple_count * source_index / source_count;
+  end_id_ = spec.tuple_count * (source_index + 1) / source_count;
+  next_id_ = begin_id_;
+}
+
+bool TupleStream::next(Tuple& out) {
+  if (next_id_ >= end_id_) return false;
+  out.id = next_id_++;
+  out.key = sample_key(dist_, rng_);
+  return true;
+}
+
+Relation materialize(const RelationSpec& spec, std::uint64_t seed,
+                     std::uint32_t source_count) {
+  Relation rel(spec.tag, spec.schema);
+  rel.reserve(spec.tuple_count);
+  for (std::uint32_t s = 0; s < source_count; ++s) {
+    TupleStream stream(spec, seed, s, source_count);
+    Tuple t;
+    while (stream.next(t)) rel.add(t);
+  }
+  EHJA_CHECK(rel.size() == spec.tuple_count);
+  return rel;
+}
+
+}  // namespace ehja

@@ -1,0 +1,58 @@
+// Deterministic streaming relation generation.
+//
+// The paper generates relations "on-the-fly on multiple nodes as the join
+// operation progressed", simulating streams from a distributed database.
+// Each data source owns a contiguous slice of the row-id space and an
+// independent RNG stream derived from (master seed, relation, source index),
+// so the multiset of generated tuples is identical no matter how many
+// sources there are or how their emission interleaves -- which is exactly
+// what lets the tests compare a distributed run against the serial
+// reference join.
+#pragma once
+
+#include <cstdint>
+
+#include "relation/relation.hpp"
+#include "util/rng.hpp"
+#include "workload/distribution.hpp"
+
+namespace ehja {
+
+struct RelationSpec {
+  RelTag tag = RelTag::kR;
+  std::uint64_t tuple_count = 0;
+  Schema schema;
+  DistributionSpec dist;
+};
+
+/// One data source's deterministic slice of a relation.
+class TupleStream {
+ public:
+  TupleStream(const RelationSpec& spec, std::uint64_t seed,
+              std::uint32_t source_index, std::uint32_t source_count);
+
+  /// Emit the next tuple; false when this source's slice is exhausted.
+  bool next(Tuple& out);
+
+  std::uint64_t produced() const { return next_id_ - begin_id_; }
+  std::uint64_t remaining() const { return end_id_ - next_id_; }
+  std::uint64_t slice_size() const { return end_id_ - begin_id_; }
+
+ private:
+  DistributionSpec dist_;
+  SplitMix64 rng_;
+  std::uint64_t begin_id_ = 0;
+  std::uint64_t end_id_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+/// RNG stream id for (relation, source); exposed so tests can assert stream
+/// independence.
+std::uint64_t stream_id(RelTag tag, std::uint32_t source_index);
+
+/// Materialize a whole relation exactly as `source_count` streaming sources
+/// would produce it (concatenated in source order).
+Relation materialize(const RelationSpec& spec, std::uint64_t seed,
+                     std::uint32_t source_count);
+
+}  // namespace ehja

@@ -1,0 +1,77 @@
+// Unit tests for cluster specs and the resource pool policies.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_spec.hpp"
+#include "cluster/resource_pool.hpp"
+#include "util/units.hpp"
+
+namespace ehja {
+namespace {
+
+TEST(ClusterSpecTest, UniformClusterShape) {
+  const ClusterSpec spec = make_uniform_cluster(8, 64 * kMiB);
+  EXPECT_EQ(spec.node_count(), 8u);
+  for (NodeId id = 0; id < 8; ++id) {
+    EXPECT_EQ(spec.node(id).id, id);
+    EXPECT_EQ(spec.node(id).hash_memory_bytes, 64 * kMiB);
+    EXPECT_DOUBLE_EQ(spec.node(id).cpu_scale, 1.0);
+  }
+}
+
+TEST(ResourcePoolTest, LargestFreeMemoryPolicy) {
+  ClusterSpec spec = make_uniform_cluster(5, 10 * kMiB);
+  spec.nodes[3].hash_memory_bytes = 99 * kMiB;
+  spec.nodes[1].hash_memory_bytes = 50 * kMiB;
+  ResourcePool pool(spec, {0, 1, 2, 3, 4},
+                    NodePickPolicy::kLargestFreeMemory);
+  EXPECT_EQ(pool.acquire().value(), 3);
+  EXPECT_EQ(pool.acquire().value(), 1);
+  // Remaining three tie at 10 MiB; lowest id wins for determinism.
+  EXPECT_EQ(pool.acquire().value(), 0);
+  EXPECT_EQ(pool.acquire().value(), 2);
+  EXPECT_EQ(pool.acquire().value(), 4);
+  EXPECT_FALSE(pool.acquire().has_value());
+}
+
+TEST(ResourcePoolTest, FirstAvailablePolicy) {
+  const ClusterSpec spec = make_uniform_cluster(4);
+  ResourcePool pool(spec, {2, 0, 3}, NodePickPolicy::kFirstAvailable);
+  EXPECT_EQ(pool.acquire().value(), 0);
+  EXPECT_EQ(pool.acquire().value(), 2);
+  EXPECT_EQ(pool.acquire().value(), 3);
+}
+
+TEST(ResourcePoolTest, RoundRobinPolicyCycles) {
+  const ClusterSpec spec = make_uniform_cluster(4);
+  ResourcePool pool(spec, {0, 1, 2, 3}, NodePickPolicy::kRoundRobin);
+  EXPECT_EQ(pool.acquire().value(), 0);
+  EXPECT_EQ(pool.acquire().value(), 1);
+  EXPECT_EQ(pool.acquire().value(), 2);
+}
+
+TEST(ResourcePoolTest, ReleaseReturnsNode) {
+  const ClusterSpec spec = make_uniform_cluster(3);
+  ResourcePool pool(spec, {0, 1}, NodePickPolicy::kFirstAvailable);
+  const NodeId a = pool.acquire().value();
+  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(pool.acquired_count(), 1u);
+  pool.release(a);
+  EXPECT_EQ(pool.available(), 2u);
+  EXPECT_EQ(pool.acquired_count(), 0u);
+}
+
+TEST(ResourcePoolTest, EmptyPoolReturnsNullopt) {
+  const ClusterSpec spec = make_uniform_cluster(2);
+  ResourcePool pool(spec, {}, NodePickPolicy::kLargestFreeMemory);
+  EXPECT_FALSE(pool.acquire().has_value());
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST(CostModelTest, ScaledApplies) {
+  CostModel cost;
+  cost.cpu_scale = 2.0;
+  EXPECT_DOUBLE_EQ(cost.scaled(10.0), 20.0);
+}
+
+}  // namespace
+}  // namespace ehja

@@ -1,0 +1,285 @@
+// Unit tests for the hash module: position map, linear hashing invariants,
+// partition maps, and the local hash table's accounting and range surgery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hash/hash_family.hpp"
+#include "hash/local_hash_table.hpp"
+#include "hash/partition_map.hpp"
+#include "util/rng.hpp"
+#include "workload/distribution.hpp"
+
+namespace ehja {
+namespace {
+
+// ------------------------------------------------------------ position map
+
+TEST(PositionTest, HighBitsPreserveOrder) {
+  EXPECT_LE(position_of(key_from_unit(0.1)), position_of(key_from_unit(0.2)));
+  EXPECT_EQ(position_of(0), 0u);
+  EXPECT_EQ(position_of(UINT64_MAX), kPositionCount - 1);
+}
+
+TEST(EqualRangesTest, CoverAndDisjoint) {
+  const auto ranges = equal_ranges(6, 1000);
+  EXPECT_EQ(ranges.front().lo, 0u);
+  EXPECT_EQ(ranges.back().hi, 1000u);
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i - 1].hi, ranges[i].lo);
+  }
+}
+
+// ----------------------------------------------------------- linear hashing
+
+TEST(LinearHashMapTest, InitialState) {
+  LinearHashMap lh(4, 1024);
+  EXPECT_EQ(lh.bucket_count(), 4u);
+  EXPECT_EQ(lh.level(), 0u);
+  EXPECT_EQ(lh.split_ptr(), 0u);
+  EXPECT_EQ(lh.bucket_range(0), (PosRange{0, 256}));
+  EXPECT_EQ(lh.bucket_range(3), (PosRange{768, 1024}));
+}
+
+TEST(LinearHashMapTest, SplitsWalkThePointer) {
+  LinearHashMap lh(4, 1024);
+  // First split targets bucket 0 ([0,256)) regardless of who overflowed.
+  auto s0 = lh.split_next();
+  EXPECT_EQ(s0.kept, (PosRange{0, 128}));
+  EXPECT_EQ(s0.moved, (PosRange{128, 256}));
+  EXPECT_EQ(lh.split_ptr(), 1u);
+  EXPECT_EQ(lh.bucket_count(), 5u);
+  // Second split targets the original bucket 1 ([256,512)).
+  auto s1 = lh.split_next();
+  EXPECT_EQ(s1.kept, (PosRange{256, 384}));
+  EXPECT_EQ(s1.moved, (PosRange{384, 512}));
+}
+
+TEST(LinearHashMapTest, LevelIncrementsWhenPointerWraps) {
+  LinearHashMap lh(2, 1024);
+  lh.split_next();  // splits [0,512)
+  EXPECT_EQ(lh.level(), 0u);
+  lh.split_next();  // splits [512,1024): pointer wraps
+  EXPECT_EQ(lh.level(), 1u);
+  EXPECT_EQ(lh.split_ptr(), 0u);
+  EXPECT_EQ(lh.bucket_count(), 4u);
+  // Next round re-splits the now-256-wide buckets left to right.
+  auto s = lh.split_next();
+  EXPECT_EQ(s.kept, (PosRange{0, 128}));
+}
+
+TEST(LinearHashMapTest, AtMostTwoBucketWidthsExist) {
+  // The "at most two hash functions active" invariant: bucket widths take
+  // at most two distinct values at any time.
+  SplitMix64 rng(1);
+  LinearHashMap lh(4, 1u << 16);
+  for (int i = 0; i < 40; ++i) {
+    lh.split_next();
+    std::vector<std::uint64_t> widths;
+    for (std::size_t b = 0; b < lh.bucket_count(); ++b) {
+      widths.push_back(lh.bucket_range(b).width());
+    }
+    std::sort(widths.begin(), widths.end());
+    widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+    EXPECT_LE(widths.size(), 2u);
+    if (widths.size() == 2) EXPECT_EQ(widths[0] * 2, widths[1]);
+  }
+}
+
+TEST(LinearHashMapTest, BucketIndexOfAgreesWithRanges) {
+  LinearHashMap lh(3, 10000);
+  for (int i = 0; i < 10; ++i) lh.split_next();
+  for (std::uint64_t pos = 0; pos < 10000; pos += 7) {
+    const std::size_t idx = lh.bucket_index_of(pos);
+    EXPECT_TRUE(lh.bucket_range(idx).contains(pos));
+  }
+}
+
+TEST(LinearHashMapTest, BoundsStayCoveringAndSorted) {
+  LinearHashMap lh(4);
+  for (int i = 0; i < 30; ++i) lh.split_next();
+  const auto& bounds = lh.bounds();
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), kPositionCount);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+}
+
+TEST(LinearHashMapTest, SplitPossibleFalseAtPositionResolution) {
+  LinearHashMap lh(2, 4);  // four positions, two buckets of width 2
+  EXPECT_TRUE(lh.split_possible());
+  lh.split_next();
+  lh.split_next();
+  // All buckets now width 1: nothing left to split.
+  EXPECT_FALSE(lh.split_possible());
+}
+
+// ------------------------------------------------------------ partition map
+
+TEST(PartitionMapTest, InitialEqualRanges) {
+  const auto map = PartitionMap::initial({10, 11, 12, 13});
+  EXPECT_EQ(map.size(), 4u);
+  EXPECT_EQ(map.entry_for(0).active_owner(), 10);
+  EXPECT_EQ(map.entry_for(kPositionCount - 1).active_owner(), 13);
+  EXPECT_EQ(map.owner_slots(), 4u);
+}
+
+TEST(PartitionMapTest, SplitEntry) {
+  auto map = PartitionMap::initial({10, 11});
+  const std::uint64_t mid = kPositionCount / 4;
+  map.split_entry(0, mid, 99);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.entry_for(mid - 1).active_owner(), 10);
+  EXPECT_EQ(map.entry_for(mid).active_owner(), 99);
+  map.check();
+}
+
+TEST(PartitionMapTest, AddReplicaMakesNewestActive) {
+  auto map = PartitionMap::initial({10, 11});
+  map.add_replica(1, 99);
+  const auto& entry = map.entries()[1];
+  EXPECT_EQ(entry.active_owner(), 99);
+  ASSERT_EQ(entry.owners.size(), 2u);
+  EXPECT_EQ(entry.owners[1], 11);
+  EXPECT_EQ(map.owner_slots(), 3u);
+}
+
+TEST(PartitionMapTest, ReplaceEntrySubdivides) {
+  auto map = PartitionMap::initial({10, 11});
+  const PosRange original = map.entries()[0].range;
+  const std::uint64_t third = original.lo + original.width() / 3;
+  std::vector<PartitionMap::Entry> plan = {
+      {PosRange{original.lo, third}, {20}},
+      {PosRange{third, original.hi}, {21}},
+  };
+  map.replace_entry(0, plan);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.entry_for(original.lo).active_owner(), 20);
+  EXPECT_EQ(map.entry_for(third).active_owner(), 21);
+}
+
+TEST(PartitionMapTest, IndexForBoundaries) {
+  const auto map = PartitionMap::initial({1, 2, 3, 4});
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    EXPECT_EQ(map.index_for(map.entries()[i].range.lo), i);
+    EXPECT_EQ(map.index_for(map.entries()[i].range.hi - 1), i);
+  }
+}
+
+TEST(PartitionMapTest, WireBytesGrowWithEntries) {
+  auto map = PartitionMap::initial({1, 2});
+  const std::size_t before = map.wire_bytes();
+  map.add_replica(0, 3);
+  EXPECT_GT(map.wire_bytes(), before);
+}
+
+TEST(PartitionMapDeathTest, SplittingReplicatedRangeAborts) {
+  auto map = PartitionMap::initial({1, 2});
+  map.add_replica(0, 3);
+  EXPECT_DEATH(map.split_entry(0, kPositionCount / 4, 9), "replicated");
+}
+
+// --------------------------------------------------------- local hash table
+
+LocalHashTable small_table(PosRange range = PosRange{0, 1024}) {
+  return LocalHashTable(Schema{100}, range);
+}
+
+Tuple tuple_at_position(std::uint64_t pos, std::uint64_t id = 0) {
+  return Tuple{id, pos << (64 - kPositionBits)};
+}
+
+TEST(LocalHashTableTest, InsertAccountsFootprint) {
+  auto table = small_table();
+  table.insert(tuple_at_position(5, 1));
+  table.insert(tuple_at_position(5, 2));
+  EXPECT_EQ(table.tuple_count(), 2u);
+  EXPECT_EQ(table.footprint_bytes(), 2 * (100 + kHashEntryOverheadBytes));
+}
+
+TEST(LocalHashTableTest, ProbeFindsAllKeyMatches) {
+  auto table = small_table();
+  const Tuple a = tuple_at_position(5, 1);
+  Tuple b = tuple_at_position(5, 2);
+  b.key = a.key;  // same join attribute
+  Tuple c = tuple_at_position(5, 3);
+  c.key = a.key + 1;  // same position, different attribute
+  table.insert(a);
+  table.insert(b);
+  table.insert(c);
+  Tuple probe = a;
+  probe.id = 99;
+  const auto result = table.probe(probe);
+  EXPECT_EQ(result.matches, 2u);
+  // Binary search over the 3-entry chain plus one comparison per match.
+  EXPECT_GE(result.comparisons, result.matches);
+  EXPECT_LE(result.comparisons, 3u + result.matches);
+  EXPECT_EQ(result.checksum_delta,
+            match_signature(1, 99) + match_signature(2, 99));
+}
+
+TEST(LocalHashTableTest, ProbeMissReturnsZero) {
+  auto table = small_table();
+  table.insert(tuple_at_position(5, 1));
+  const auto result = table.probe(tuple_at_position(6, 9));
+  EXPECT_EQ(result.matches, 0u);
+  EXPECT_GE(result.comparisons, 1u);  // the miss still costs a lookup
+}
+
+TEST(LocalHashTableTest, ExtractRangeRemovesAndReturns) {
+  auto table = small_table();
+  for (std::uint64_t pos = 0; pos < 100; ++pos) {
+    table.insert(tuple_at_position(pos, pos));
+  }
+  const auto extracted = table.extract_range(PosRange{50, 100});
+  EXPECT_EQ(extracted.size(), 50u);
+  EXPECT_EQ(table.tuple_count(), 50u);
+  EXPECT_EQ(table.footprint_bytes(), 50 * (100 + kHashEntryOverheadBytes));
+  for (const Tuple& t : extracted) {
+    EXPECT_GE(position_of(t.key), 50u);
+  }
+}
+
+TEST(LocalHashTableTest, SetRangeAfterExtraction) {
+  auto table = small_table();
+  for (std::uint64_t pos = 0; pos < 100; ++pos) {
+    table.insert(tuple_at_position(pos, pos));
+  }
+  table.extract_range(PosRange{50, 1024});
+  table.set_range(PosRange{0, 50});
+  EXPECT_EQ(table.tuple_count(), 50u);
+  // Probing inside the shrunken range still works.
+  EXPECT_EQ(table.probe(tuple_at_position(10, 999)).matches, 1u);
+}
+
+TEST(LocalHashTableDeathTest, SetRangeOrphaningTuplesAborts) {
+  auto table = small_table();
+  table.insert(tuple_at_position(5, 1));
+  EXPECT_DEATH(table.set_range(PosRange{100, 200}), "orphan");
+}
+
+TEST(LocalHashTableDeathTest, InsertOutsideRangeAborts) {
+  auto table = small_table(PosRange{0, 10});
+  EXPECT_DEATH(table.insert(tuple_at_position(10, 1)), "outside");
+}
+
+TEST(LocalHashTableTest, HistogramCountsEntries) {
+  auto table = small_table(PosRange{0, 100});
+  for (int i = 0; i < 10; ++i) table.insert(tuple_at_position(5, 100 + i));
+  table.insert(tuple_at_position(95, 1));
+  const auto hist = table.histogram(10);
+  EXPECT_EQ(hist.total(), 11u);
+  EXPECT_EQ(hist.bin_weight(0), 10u);
+  EXPECT_EQ(hist.bin_weight(9), 1u);
+}
+
+TEST(LocalHashTableTest, ClearResetsEverything) {
+  auto table = small_table();
+  table.insert(tuple_at_position(1, 1));
+  table.clear();
+  EXPECT_EQ(table.tuple_count(), 0u);
+  EXPECT_EQ(table.footprint_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ehja

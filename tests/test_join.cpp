@@ -1,0 +1,197 @@
+// Unit tests for the serial reference join and the hybrid-hash spiller.
+#include <gtest/gtest.h>
+
+#include "join/grace_join.hpp"
+#include "join/serial_join.hpp"
+#include "join/sort_merge_join.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+
+namespace ehja {
+namespace {
+
+Relation make_relation(RelTag tag, std::uint64_t count, DistributionSpec dist,
+                       std::uint64_t seed = 7) {
+  RelationSpec spec;
+  spec.tag = tag;
+  spec.tuple_count = count;
+  spec.schema = Schema{100};
+  spec.dist = dist;
+  return materialize(spec, seed, 2);
+}
+
+TEST(SerialJoinTest, DisjointKeysNoMatches) {
+  Relation r(RelTag::kR, Schema{100});
+  Relation s(RelTag::kS, Schema{100});
+  r.add({1, 100});
+  s.add({2, 200});
+  const auto result = serial_hash_join(r, s);
+  EXPECT_EQ(result.matches, 0u);
+  EXPECT_EQ(result.checksum, 0u);
+}
+
+TEST(SerialJoinTest, CrossProductOnDuplicateKeys) {
+  Relation r(RelTag::kR, Schema{100});
+  Relation s(RelTag::kS, Schema{100});
+  for (std::uint64_t i = 0; i < 3; ++i) r.add({i, 42});
+  for (std::uint64_t i = 0; i < 4; ++i) s.add({100 + i, 42});
+  const auto result = serial_hash_join(r, s);
+  EXPECT_EQ(result.matches, 12u);
+}
+
+TEST(SerialJoinTest, ChecksumMatchesManualComputation) {
+  Relation r(RelTag::kR, Schema{100});
+  Relation s(RelTag::kS, Schema{100});
+  r.add({1, 5});
+  r.add({2, 6});
+  s.add({3, 5});
+  s.add({4, 6});
+  const auto result = serial_hash_join(r, s);
+  EXPECT_EQ(result.matches, 2u);
+  EXPECT_EQ(result.checksum, match_signature(1, 3) + match_signature(2, 4));
+}
+
+TEST(SerialJoinTest, EmptyRelations) {
+  Relation r(RelTag::kR, Schema{100});
+  Relation s(RelTag::kS, Schema{100});
+  EXPECT_EQ(serial_hash_join(r, s).matches, 0u);
+  s.add({1, 1});
+  EXPECT_EQ(serial_hash_join(r, s).matches, 0u);
+}
+
+// ------------------------------------------------------------- sort-merge
+
+TEST(SortMergeJoinTest, AgreesWithHashJoinAcrossDistributions) {
+  for (const auto& dist :
+       {DistributionSpec::Uniform(), DistributionSpec::SmallDomain(512),
+        DistributionSpec::Zipf(1.2, 300),
+        DistributionSpec::Gaussian(0.5, 1e-3)}) {
+    const auto r = make_relation(RelTag::kR, 8000, dist);
+    const auto s = make_relation(RelTag::kS, 8000, dist);
+    EXPECT_EQ(sort_merge_join(r, s), serial_hash_join(r, s))
+        << dist.to_string();
+  }
+}
+
+TEST(SortMergeJoinTest, CrossProductOnAllEqualKeys) {
+  Relation r(RelTag::kR, Schema{100});
+  Relation s(RelTag::kS, Schema{100});
+  for (std::uint64_t i = 0; i < 7; ++i) r.add({i, 42});
+  for (std::uint64_t i = 0; i < 11; ++i) s.add({100 + i, 42});
+  const auto result = sort_merge_join(r, s);
+  EXPECT_EQ(result.matches, 77u);
+  EXPECT_EQ(result, serial_hash_join(r, s));
+}
+
+TEST(SortMergeJoinTest, EmptySidesYieldNothing) {
+  Relation r(RelTag::kR, Schema{100});
+  Relation s(RelTag::kS, Schema{100});
+  EXPECT_EQ(sort_merge_join(r, s).matches, 0u);
+  r.add({1, 5});
+  EXPECT_EQ(sort_merge_join(r, s).matches, 0u);
+}
+
+// ------------------------------------------------------------ grace / OOC
+
+struct GraceFixture {
+  SimDisk disk{DiskConfig{}};
+  CostModel cost;
+};
+
+TEST(GraceJoinTest, InCoreWhenBudgetSuffices) {
+  GraceFixture fx;
+  const auto r = make_relation(RelTag::kR, 5000, DistributionSpec::SmallDomain(256));
+  const auto s = make_relation(RelTag::kS, 5000, DistributionSpec::SmallDomain(256));
+  const auto expected = serial_hash_join(r, s);
+  const auto outcome = grace_join(r, s, /*budget=*/64 * kMiB, 16, fx.disk, fx.cost);
+  EXPECT_EQ(outcome.result, expected);
+  EXPECT_EQ(outcome.spilled_build_tuples, 0u);
+  EXPECT_EQ(fx.disk.bytes_written(), 0u);
+}
+
+TEST(GraceJoinTest, SpillsAndStillMatchesOracle) {
+  GraceFixture fx;
+  const auto r = make_relation(RelTag::kR, 20000, DistributionSpec::SmallDomain(512));
+  const auto s = make_relation(RelTag::kS, 20000, DistributionSpec::SmallDomain(512));
+  const auto expected = serial_hash_join(r, s);
+  // Budget for ~4000 tuples: most partitions must spill.
+  const std::uint64_t budget = 4000 * tuple_footprint(r.schema());
+  const auto outcome = grace_join(r, s, budget, 16, fx.disk, fx.cost);
+  EXPECT_EQ(outcome.result, expected);
+  EXPECT_GT(outcome.spilled_build_tuples, 0u);
+  EXPECT_GT(outcome.spilled_probe_tuples, 0u);
+  EXPECT_GT(fx.disk.bytes_written(), 0u);
+  EXPECT_GT(outcome.seconds, 0.0);
+}
+
+TEST(GraceJoinTest, MultiPassWhenPartitionExceedsBudget) {
+  GraceFixture fx;
+  // All keys in one tiny band -> one partition holds everything.
+  const auto r = make_relation(RelTag::kR, 8000, DistributionSpec::Gaussian(0.5, 1e-7));
+  const auto s = make_relation(RelTag::kS, 8000, DistributionSpec::Gaussian(0.5, 1e-7));
+  const auto expected = serial_hash_join(r, s);
+  const std::uint64_t budget = 1000 * tuple_footprint(r.schema());
+  const auto outcome = grace_join(r, s, budget, 16, fx.disk, fx.cost);
+  EXPECT_EQ(outcome.result, expected);
+  // The hot partition is ~8x the budget: S must be rescanned several times.
+  EXPECT_GT(fx.disk.bytes_read(),
+            outcome.spilled_build_tuples * 100 +
+                2 * outcome.spilled_probe_tuples * 100);
+}
+
+TEST(GraceJoinTest, SmallerBudgetNeverCheaper) {
+  const auto r = make_relation(RelTag::kR, 10000, DistributionSpec::Uniform());
+  const auto s = make_relation(RelTag::kS, 10000, DistributionSpec::Uniform());
+  double prev = -1.0;
+  for (const std::uint64_t tuples : {16000u, 4000u, 1000u}) {
+    GraceFixture fx;
+    const auto outcome = grace_join(
+        r, s, tuples * tuple_footprint(r.schema()), 16, fx.disk, fx.cost);
+    EXPECT_GE(outcome.seconds, prev);
+    prev = outcome.seconds;
+  }
+}
+
+TEST(HybridHashSpillerTest, EvictsLargestPartitionFirst) {
+  GraceFixture fx;
+  const Schema schema{100};
+  HybridHashSpiller spiller(schema, PosRange{0, kPositionCount},
+                            200 * tuple_footprint(schema), 4, fx.disk,
+                            fx.cost, 1);
+  // Load partition 0 (positions near 0) much heavier than the rest.
+  SplitMix64 rng(3);
+  for (int i = 0; i < 150; ++i) {
+    spiller.add_build(Tuple{static_cast<std::uint64_t>(i),
+                            rng.next_below(kPositionCount / 8)
+                                << (64 - kPositionBits)});
+  }
+  for (int i = 0; i < 100; ++i) {
+    spiller.add_build(Tuple{1000 + static_cast<std::uint64_t>(i),
+                            (kPositionCount / 2 + rng.next_below(100))
+                                << (64 - kPositionBits)});
+  }
+  ASSERT_GT(spiller.spilled_partitions(), 0u);
+  // The heavy first partition must be on disk.
+  EXPECT_GT(spiller.spilled_build_tuples(), 100u);
+}
+
+TEST(HybridHashSpillerTest, BuildTupleConservation) {
+  GraceFixture fx;
+  const Schema schema{100};
+  HybridHashSpiller spiller(schema, PosRange{0, kPositionCount},
+                            500 * tuple_footprint(schema), 8, fx.disk,
+                            fx.cost, 1);
+  SplitMix64 rng(4);
+  const std::uint64_t n = 5000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    spiller.add_build(Tuple{i, rng.next_u64()});
+  }
+  EXPECT_EQ(spiller.build_tuples(), n);
+  // In-memory + spilled must cover every build tuple.
+  const std::uint64_t in_memory =
+      spiller.memory_footprint() / tuple_footprint(schema);
+  EXPECT_EQ(in_memory + spiller.spilled_build_tuples(), n);
+}
+
+}  // namespace
+}  // namespace ehja

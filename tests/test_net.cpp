@@ -1,0 +1,156 @@
+// Unit tests for the switched-Ethernet model: serialization math, NIC
+// contention, per-pair FIFO, loopback, stats.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "util/units.hpp"
+
+namespace ehja {
+namespace {
+
+LinkConfig test_link() {
+  LinkConfig link;
+  link.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s: easy arithmetic
+  link.latency_sec = 1e-3;
+  link.per_message_overhead_bytes = 0.0;
+  return link;
+}
+
+TEST(NetworkModelTest, SingleTransferTiming) {
+  NetworkModel net(4, test_link());
+  // 1000 bytes at 1 MB/s = 1 ms serialization + 1 ms latency.
+  const SimTime arrival = net.transfer(0, 1, 1000, /*ready=*/0.0);
+  EXPECT_DOUBLE_EQ(arrival, 0.002);
+}
+
+TEST(NetworkModelTest, SenderSerializesBackToBack) {
+  NetworkModel net(4, test_link());
+  net.transfer(0, 1, 1000, 0.0);
+  const SimTime second = net.transfer(0, 2, 1000, 0.0);
+  // Second message waits for the first to leave the TX side.
+  EXPECT_DOUBLE_EQ(second, 0.003);
+}
+
+TEST(NetworkModelTest, ReceiverIncastSerializes) {
+  NetworkModel net(4, test_link());
+  const SimTime a = net.transfer(0, 2, 1000, 0.0);
+  const SimTime b = net.transfer(1, 2, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(a, 0.002);
+  EXPECT_DOUBLE_EQ(b, 0.003);  // queued behind a at node 2's RX side
+}
+
+TEST(NetworkModelTest, DisjointPairsDoNotInterfere) {
+  NetworkModel net(4, test_link());
+  const SimTime a = net.transfer(0, 1, 1000, 0.0);
+  const SimTime b = net.transfer(2, 3, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);  // non-blocking switch
+}
+
+TEST(NetworkModelTest, PerPairFifo) {
+  // Messages planned in nondecreasing ready order from one sender arrive in
+  // order at the receiver, regardless of size.
+  NetworkModel net(2, test_link());
+  SimTime prev = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t bytes = (i % 2 == 0) ? 10000 : 10;
+    const SimTime arrival = net.transfer(0, 1, bytes, 0.0);
+    EXPECT_GT(arrival, prev);
+    prev = arrival;
+  }
+}
+
+TEST(NetworkModelTest, LoopbackIsCheapAndUnqueued) {
+  NetworkModel net(2, test_link());
+  const SimTime a = net.transfer(0, 0, 1000, 0.0);
+  EXPECT_LT(a, 1e-4);  // far below NIC serialization
+  // Loopback must not reserve the NIC.
+  EXPECT_DOUBLE_EQ(net.tx_free(0), 0.0);
+}
+
+TEST(NetworkModelTest, PerMessageOverheadCharged) {
+  LinkConfig link = test_link();
+  link.per_message_overhead_bytes = 1000.0;
+  NetworkModel net(2, link);
+  const SimTime arrival = net.transfer(0, 1, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(arrival, 0.003);  // 2000 effective bytes + latency
+}
+
+TEST(NetworkModelTest, ReadyTimeDelaysDeparture) {
+  NetworkModel net(2, test_link());
+  const SimTime arrival = net.transfer(0, 1, 1000, /*ready=*/5.0);
+  EXPECT_DOUBLE_EQ(arrival, 5.002);
+}
+
+TEST(NetworkModelTest, StatsAccumulate) {
+  NetworkModel net(3, test_link());
+  net.transfer(0, 1, 100, 0.0);
+  net.transfer(0, 2, 200, 0.0);
+  net.transfer(1, 0, 300, 0.0);
+  const NetworkStats& stats = net.stats();
+  EXPECT_EQ(stats.messages, 3u);
+  EXPECT_EQ(stats.bytes, 600u);
+  EXPECT_EQ(stats.tx_bytes[0], 300u);
+  EXPECT_EQ(stats.rx_bytes[0], 300u);
+  EXPECT_EQ(stats.rx_bytes[2], 200u);
+}
+
+TEST(NetworkModelTest, DefaultConfigIsGigabitScale) {
+  // 1 GB across one NIC at the default (calibrated gigabit-class) goodput
+  // takes ~9 seconds -- the back-of-envelope anchoring the cost model; see
+  // util/units.hpp for why the paper's stated 100 Mb/s cannot be right.
+  NetworkModel net(2, LinkConfig{});
+  const SimTime arrival = net.transfer(0, 1, 1'000'000'000, 0.0);
+  EXPECT_NEAR(arrival, 1e9 / 110e6, 0.5);
+}
+
+TEST(NetworkModelTest, SharedBusSerializesDisjointPairs) {
+  LinkConfig link = test_link();
+  link.topology = Topology::kSharedBus;
+  NetworkModel net(4, link);
+  const SimTime a = net.transfer(0, 1, 1000, 0.0);
+  const SimTime b = net.transfer(2, 3, 1000, 0.0);
+  // On a shared medium the second transfer waits for the first even though
+  // the node pairs are disjoint.
+  EXPECT_DOUBLE_EQ(a, 0.002);
+  EXPECT_DOUBLE_EQ(b, 0.003);
+}
+
+TEST(NetworkModelTest, SharedBusStillFifoPerPair) {
+  LinkConfig link = test_link();
+  link.topology = Topology::kSharedBus;
+  NetworkModel net(2, link);
+  SimTime prev = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const SimTime arrival = net.transfer(0, 1, 100, 0.0);
+    EXPECT_GT(arrival, prev);
+    prev = arrival;
+  }
+}
+
+TEST(NetworkModelTest, DeliveryExposesTxDoneBeforeArrival) {
+  NetworkModel net(2, test_link());
+  const auto plan = net.plan(0, 1, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(plan.tx_done, 0.001);
+  EXPECT_DOUBLE_EQ(plan.arrival, 0.002);
+}
+
+TEST(NetworkModelTest, RxStallDelaysSubsequentTransfers) {
+  // Consumer-paced admission: a busy receiver keeps its RX side occupied,
+  // so the next sender blocks until the node catches up.
+  NetworkModel net(3, test_link());
+  net.transfer(0, 2, 1000, 0.0);  // receiver busy until 0.002
+  net.stall_rx(2, 10.0);          // node 2 is processing until t=10
+  const SimTime arrival = net.transfer(1, 2, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(arrival, 10.002);
+}
+
+TEST(NetworkModelTest, RxStallNeverMovesBackwards) {
+  NetworkModel net(2, test_link());
+  net.stall_rx(1, 5.0);
+  net.stall_rx(1, 2.0);  // earlier stall must not shrink the reservation
+  const SimTime arrival = net.transfer(0, 1, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(arrival, 5.002);
+}
+
+}  // namespace
+}  // namespace ehja

@@ -1,0 +1,97 @@
+// Tests for multi-way join pipelines (paper ss6 future work).
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "util/units.hpp"
+
+namespace ehja {
+namespace {
+
+PipelinePlan small_plan(std::size_t stages) {
+  PipelinePlan plan;
+  plan.first_build = RelationSpec{RelTag::kR, 8'000, Schema{100},
+                                  DistributionSpec::SmallDomain(4096)};
+  plan.intermediate_dist = DistributionSpec::SmallDomain(4096);
+  plan.intermediate_tuple_bytes = 200;
+  plan.join_pool_nodes = 16;
+  plan.data_sources = 2;
+  plan.node_hash_memory_bytes = 1500 * tuple_footprint(Schema{200});
+  for (std::size_t k = 0; k < stages; ++k) {
+    PipelineStage stage;
+    stage.probe = RelationSpec{RelTag::kS, 10'000, Schema{100},
+                               DistributionSpec::SmallDomain(4096)};
+    stage.algorithm = Algorithm::kHybrid;
+    stage.initial_join_nodes = 2;
+    plan.stages.push_back(stage);
+  }
+  return plan;
+}
+
+TEST(PipelineTest, SingleStageEqualsPlainRun) {
+  const auto plan = small_plan(1);
+  const PipelineResult pipeline = run_pipeline(plan);
+  ASSERT_EQ(pipeline.stages.size(), 1u);
+  EXPECT_EQ(pipeline.final_matches, pipeline.stages[0].join().matches);
+  EXPECT_DOUBLE_EQ(pipeline.total_time,
+                   pipeline.stages[0].metrics.total_time());
+}
+
+TEST(PipelineTest, CardinalityFlowsBetweenStages) {
+  const auto plan = small_plan(3);
+  const PipelineResult pipeline = run_pipeline(plan);
+  ASSERT_EQ(pipeline.stages.size(), 3u);
+  for (std::size_t k = 1; k < 3; ++k) {
+    const std::uint64_t upstream = pipeline.stages[k - 1].join().matches;
+    EXPECT_EQ(pipeline.stages[k].metrics.build_tuples_total,
+              std::max<std::uint64_t>(upstream, 1));
+  }
+}
+
+TEST(PipelineTest, StagesExpandIndependently) {
+  auto plan = small_plan(2);
+  // Make the second stage's build side big enough to force expansion even
+  // though the first stage starts tiny.
+  plan.first_build.tuple_count = 30'000;
+  plan.stages[1].initial_join_nodes = 1;
+  const PipelineResult pipeline = run_pipeline(plan);
+  EXPECT_GT(pipeline.peak_join_nodes, 2u);
+  EXPECT_GT(pipeline.total_time, 0.0);
+}
+
+TEST(PipelineTest, MixedAlgorithmsPerStage) {
+  auto plan = small_plan(3);
+  plan.stages[0].algorithm = Algorithm::kSplit;
+  plan.stages[1].algorithm = Algorithm::kReplicate;
+  plan.stages[2].algorithm = Algorithm::kOutOfCore;
+  const PipelineResult pipeline = run_pipeline(plan);
+  ASSERT_EQ(pipeline.stages.size(), 3u);
+  EXPECT_GT(pipeline.final_matches, 0u);
+}
+
+TEST(PipelineTest, Deterministic) {
+  const auto plan = small_plan(2);
+  const PipelineResult a = run_pipeline(plan);
+  const PipelineResult b = run_pipeline(plan);
+  EXPECT_EQ(a.final_matches, b.final_matches);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+}
+
+TEST(PipelineTest, EmptyIntermediateDoesNotWedge) {
+  auto plan = small_plan(2);
+  // Disjoint key domains: stage 1 produces zero matches; stage 2 must
+  // still run (with the minimum build of one tuple) and produce zero.
+  plan.first_build.dist = DistributionSpec::SmallDomain(1024);
+  plan.stages[0].probe.dist = DistributionSpec::Zipf(1.1, 7);  // scattered
+  const PipelineResult pipeline = run_pipeline(plan);
+  ASSERT_EQ(pipeline.stages.size(), 2u);
+}
+
+TEST(PipelineDeathTest, EmptyPlanAborts) {
+  PipelinePlan plan;
+  plan.first_build = RelationSpec{RelTag::kR, 10, Schema{100},
+                                  DistributionSpec::Uniform()};
+  EXPECT_DEATH(run_pipeline(plan), "stage");
+}
+
+}  // namespace
+}  // namespace ehja

@@ -1,0 +1,182 @@
+// Tests for the planner: skew estimation, the ss4.2.4 analytical model,
+// and the paper's ss6 decision rule.
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "util/units.hpp"
+
+namespace ehja {
+namespace {
+
+// ---------------------------------------------------------- skew estimator
+
+TEST(SkewEstimateTest, UniformReadsAsUniform) {
+  const auto est = estimate_skew(DistributionSpec::Uniform(), 100'000, 1);
+  EXPECT_LT(est.concentration, 1.5);
+  EXPECT_FALSE(est.mildly_skewed());
+  EXPECT_FALSE(est.highly_skewed());
+  EXPECT_EQ(est.sampled, 100'000u);
+}
+
+TEST(SkewEstimateTest, ExtremeGaussianReadsAsHighlySkewed) {
+  const auto est =
+      estimate_skew(DistributionSpec::Gaussian(0.5, 1e-4), 50'000, 1);
+  EXPECT_TRUE(est.highly_skewed());
+  EXPECT_GT(est.concentration, 30.0);  // everything in ~one slice of 64
+}
+
+TEST(SkewEstimateTest, MildGaussianBetweenUniformAndExtreme) {
+  const auto mild =
+      estimate_skew(DistributionSpec::Gaussian(0.5, 5e-2), 50'000, 1);
+  const auto extreme =
+      estimate_skew(DistributionSpec::Gaussian(0.5, 1e-4), 50'000, 1);
+  EXPECT_GT(mild.concentration, 1.5);
+  EXPECT_LT(mild.concentration, extreme.concentration);
+}
+
+TEST(SkewEstimateTest, ErrorBoundShrinksWithSampleSize) {
+  const auto small = estimate_skew(DistributionSpec::Uniform(), 1'000, 1);
+  const auto large = estimate_skew(DistributionSpec::Uniform(), 100'000, 1);
+  EXPECT_LT(large.error_bound, small.error_bound);
+}
+
+TEST(SkewEstimateTest, DeterministicForSeed) {
+  const auto a = estimate_skew(DistributionSpec::Zipf(1.2, 1000), 10'000, 7);
+  const auto b = estimate_skew(DistributionSpec::Zipf(1.2, 1000), 10'000, 7);
+  EXPECT_DOUBLE_EQ(a.hot_fraction, b.hot_fraction);
+}
+
+// --------------------------------------------------------- ss4.2.4 model
+
+TEST(ExpansionModelTest, NoExpansionNoOverhead) {
+  ExpansionModel model;
+  model.bucket_bytes = 1e8;
+  model.initial_buckets = 4;
+  model.final_buckets = 4;
+  model.sec_per_byte = 1e-8;
+  EXPECT_DOUBLE_EQ(model.expansion_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(model.split_overhead_sec(), 0.0);
+  EXPECT_DOUBLE_EQ(model.reshuffle_overhead_sec(), 0.0);
+}
+
+TEST(ExpansionModelTest, SplitGrowsFasterThanReshuffle) {
+  // The paper's point: O_split grows ~linearly in E while O_reshuffle
+  // saturates, so their ratio grows with E.
+  double prev_ratio = 0.0;
+  for (const std::uint32_t final_buckets : {8u, 16u, 32u, 64u}) {
+    ExpansionModel model;
+    model.bucket_bytes = 1e8;
+    model.initial_buckets = 4;
+    model.final_buckets = final_buckets;
+    model.sec_per_byte = 1e-8;
+    const double ratio =
+        model.split_overhead_sec() / model.reshuffle_overhead_sec();
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 1.0);  // split eventually costs more
+}
+
+TEST(ExpansionModelTest, ModelRatioIsHalfE) {
+  // Analytically O_split/O_reshuffle = E/2 (for E >> 1 the -N0 term and
+  // the (E-1)/E factor cancel to exactly E/2 at all E > 1).
+  ExpansionModel model;
+  model.bucket_bytes = 5e7;
+  model.initial_buckets = 4;
+  model.final_buckets = 24;
+  model.sec_per_byte = 1e-8;
+  const double e = model.expansion_factor();
+  EXPECT_NEAR(model.split_overhead_sec() / model.reshuffle_overhead_sec(),
+              e / 2.0, 1e-9);
+}
+
+TEST(ExpansionModelTest, FromConfigComputesNodesNeeded) {
+  EhjaConfig config;
+  config.initial_join_nodes = 4;
+  config.join_pool_nodes = 24;
+  config.build_rel.tuple_count = 10'000'000;
+  config.node_hash_memory_bytes = 80 * kMiB;
+  const auto model = model_from_config(config);
+  EXPECT_EQ(model.initial_buckets, 4u);
+  // 10M x 124 B needs ~15 nodes of 80 MiB.
+  EXPECT_GE(model.final_buckets, 14u);
+  EXPECT_LE(model.final_buckets, 16u);
+}
+
+TEST(ExpansionModelTest, FinalBucketsCappedByPool) {
+  EhjaConfig config;
+  config.initial_join_nodes = 2;
+  config.join_pool_nodes = 6;
+  config.build_rel.tuple_count = 100'000'000;
+  config.node_hash_memory_bytes = 80 * kMiB;
+  EXPECT_EQ(model_from_config(config).final_buckets, 6u);
+}
+
+// ------------------------------------------------------------ decision rule
+
+EhjaConfig planner_config() {
+  EhjaConfig config;
+  config.initial_join_nodes = 4;
+  config.join_pool_nodes = 24;
+  config.build_rel.tuple_count = 10'000'000;
+  config.probe_rel.tuple_count = 10'000'000;
+  config.node_hash_memory_bytes = 80 * kMiB;
+  return config;
+}
+
+TEST(PlannerTest, HighSkewPrefersReplication) {
+  auto config = planner_config();
+  config.build_rel.dist = DistributionSpec::Gaussian(0.5, 1e-4);
+  PlannerInputs inputs;
+  inputs.build_tuples = config.build_rel.tuple_count;
+  inputs.probe_tuples = config.probe_rel.tuple_count;
+  const auto decision = choose_algorithm(config, inputs);
+  EXPECT_EQ(decision.algorithm, Algorithm::kReplicate);
+  EXPECT_FALSE(decision.rationale.empty());
+}
+
+TEST(PlannerTest, LargerBuildPrefersReplication) {
+  auto config = planner_config();
+  config.build_rel.tuple_count = 100'000'000;
+  config.probe_rel.tuple_count = 10'000'000;
+  PlannerInputs inputs;
+  inputs.build_tuples = config.build_rel.tuple_count;
+  inputs.probe_tuples = config.probe_rel.tuple_count;
+  const auto decision = choose_algorithm(config, inputs);
+  EXPECT_EQ(decision.algorithm, Algorithm::kReplicate);
+}
+
+TEST(PlannerTest, UniformLargeExpansionPrefersHybrid) {
+  auto config = planner_config();
+  config.initial_join_nodes = 1;  // E ~ 15: reshuffle beats migration
+  PlannerInputs inputs;
+  inputs.build_tuples = config.build_rel.tuple_count;
+  inputs.probe_tuples = config.probe_rel.tuple_count;
+  const auto decision = choose_algorithm(config, inputs);
+  EXPECT_EQ(decision.algorithm, Algorithm::kHybrid);
+}
+
+TEST(PlannerTest, NoOverflowPrefersPlainSplit) {
+  auto config = planner_config();
+  config.node_hash_memory_bytes = 2 * kGiB;  // everything fits
+  PlannerInputs inputs;
+  inputs.build_tuples = config.build_rel.tuple_count;
+  inputs.probe_tuples = config.probe_rel.tuple_count;
+  const auto decision = choose_algorithm(config, inputs);
+  EXPECT_EQ(decision.algorithm, Algorithm::kSplit);
+  EXPECT_NE(decision.rationale.find("fits"), std::string::npos);
+}
+
+TEST(PlannerTest, SmallExpansionUniformPrefersSplit) {
+  auto config = planner_config();
+  // E = 16/12 ~ 1.3: split's (N-N0) B/2 < reshuffle's (E-1)/E B N0.
+  config.initial_join_nodes = 12;
+  PlannerInputs inputs;
+  inputs.build_tuples = config.build_rel.tuple_count;
+  inputs.probe_tuples = config.probe_rel.tuple_count;
+  const auto decision = choose_algorithm(config, inputs);
+  EXPECT_EQ(decision.algorithm, Algorithm::kSplit);
+}
+
+}  // namespace
+}  // namespace ehja

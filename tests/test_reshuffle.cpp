@@ -1,0 +1,117 @@
+// Unit tests for the hybrid reshuffle planner.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/reshuffle.hpp"
+#include "util/rng.hpp"
+
+namespace ehja {
+namespace {
+
+BinnedHistogram uniform_hist(std::uint64_t lo, std::uint64_t hi,
+                             std::size_t bins, std::uint64_t per_bin) {
+  BinnedHistogram hist(lo, hi, bins);
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    hist.add(hist.bin_lo(b), per_bin);
+  }
+  return hist;
+}
+
+void expect_covers(const std::vector<PartitionMap::Entry>& plan,
+                   std::uint64_t lo, std::uint64_t hi) {
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.front().range.lo, lo);
+  EXPECT_EQ(plan.back().range.hi, hi);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i - 1].range.hi, plan[i].range.lo);
+    EXPECT_LT(plan[i].range.lo, plan[i].range.hi);
+  }
+}
+
+TEST(ReshuffleTest, UniformLoadSplitsEvenly) {
+  const auto hist = uniform_hist(0, 65536, 256, 100);
+  const std::vector<ActorId> members = {5, 6, 7, 8};
+  const auto plan = plan_reshuffle(hist, members);
+  ASSERT_EQ(plan.size(), 4u);
+  expect_covers(plan, 0, 65536);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(plan[i].owners.front(), members[i]);
+    EXPECT_NEAR(static_cast<double>(plan[i].range.width()), 16384.0, 512.0);
+  }
+}
+
+TEST(ReshuffleTest, SkewedLoadGivesHotBinOwnerNarrowRange) {
+  BinnedHistogram hist(0, 65536, 256);
+  // All weight in one bin near the middle.
+  hist.add(32768, 100000);
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    hist.add(hist.bin_lo(b), 1);
+  }
+  const auto plan = plan_reshuffle(hist, {1, 2, 3, 4});
+  expect_covers(plan, 0, 65536);
+  // One member's range must contain the hot bin; its range should be far
+  // narrower than an even split.
+  bool hot_found = false;
+  for (const auto& entry : plan) {
+    if (entry.range.contains(32768)) {
+      hot_found = true;
+    }
+  }
+  EXPECT_TRUE(hot_found);
+}
+
+TEST(ReshuffleTest, EveryMemberGetsNonEmptyRangeUnderExtremeSkew) {
+  BinnedHistogram hist(1000, 2000, 100);
+  hist.add(1000, 999999);  // everything in the first bin
+  const auto plan = plan_reshuffle(hist, {1, 2, 3, 4, 5, 6, 7, 8});
+  ASSERT_EQ(plan.size(), 8u);
+  expect_covers(plan, 1000, 2000);
+  for (const auto& entry : plan) {
+    EXPECT_GE(entry.range.width(), 1u);
+  }
+}
+
+TEST(ReshuffleTest, SingleMemberTakesWholeRange) {
+  const auto hist = uniform_hist(500, 1500, 64, 3);
+  const auto plan = plan_reshuffle(hist, {42});
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].range, (PosRange{500, 1500}));
+  EXPECT_EQ(plan[0].owners.front(), 42);
+}
+
+TEST(ReshuffleTest, EmptyHistogramStillCovers) {
+  BinnedHistogram hist(0, 4096, 64);  // no weight at all
+  const auto plan = plan_reshuffle(hist, {1, 2, 3});
+  expect_covers(plan, 0, 4096);
+}
+
+TEST(ReshuffleTest, BalanceWithinGreedyBound) {
+  SplitMix64 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    BinnedHistogram hist(0, 1u << 16, 512);
+    std::uint64_t total = 0, biggest = 0;
+    for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+      const std::uint64_t w = rng.next_below(500);
+      hist.add(hist.bin_lo(b), w);
+      total += w;
+      biggest = std::max(biggest, w);
+    }
+    const std::size_t k = 2 + rng.next_below(8);
+    std::vector<ActorId> members(k);
+    std::iota(members.begin(), members.end(), 1);
+    const auto plan = plan_reshuffle(hist, members);
+    // Recompute per-member weight from bins and check the greedy bound.
+    for (const auto& entry : plan) {
+      std::uint64_t w = 0;
+      for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+        if (entry.range.contains(hist.bin_lo(b))) w += hist.bin_weight(b);
+      }
+      EXPECT_LE(static_cast<double>(w),
+                static_cast<double>(total) / k + biggest + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ehja

@@ -1,0 +1,271 @@
+// Unit tests for the util module: RNG determinism and distribution quality,
+// binned histograms, the greedy contiguous partitioner, running statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/partition.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace ehja {
+namespace {
+
+// ---------------------------------------------------------------- SplitMix64
+
+TEST(SplitMix64Test, SameSeedSameSequence) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64Test, StreamsAreIndependentOfConsumptionOrder) {
+  // Stream 7's output must not depend on how much of stream 3 was consumed.
+  SplitMix64 s3_first(42, 3);
+  for (int i = 0; i < 100; ++i) s3_first.next_u64();
+  SplitMix64 s7_after(42, 7);
+  SplitMix64 s7_fresh(42, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s7_after.next_u64(), s7_fresh.next_u64());
+  }
+}
+
+TEST(SplitMix64Test, DoubleInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(SplitMix64Test, DoubleMeanNearHalf) {
+  SplitMix64 rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(SplitMix64Test, NextBelowRespectsBound) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(SplitMix64Test, GaussianMomentsMatchStandardNormal) {
+  SplitMix64 rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(SplitMix64Test, MixIsBijectiveOnSamples) {
+  // mix() must not collide on a large sample (it is a bijection; collisions
+  // would indicate an implementation bug).
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    outputs.insert(SplitMix64::mix(i));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+// ----------------------------------------------------------- BinnedHistogram
+
+TEST(BinnedHistogramTest, GeometryAndTotals) {
+  BinnedHistogram hist(100, 1100, 10);
+  EXPECT_EQ(hist.bin_count(), 10u);
+  EXPECT_EQ(hist.bin_lo(0), 100u);
+  EXPECT_EQ(hist.bin_hi(9), 1100u);
+  hist.add(100);
+  hist.add(1099, 5);
+  EXPECT_EQ(hist.total(), 6u);
+  EXPECT_EQ(hist.bin_weight(0), 1u);
+  EXPECT_EQ(hist.bin_weight(9), 5u);
+}
+
+TEST(BinnedHistogramTest, BinOfIsConsistentWithBinBounds) {
+  BinnedHistogram hist(0, 1003, 7);  // non-divisible span
+  for (std::uint64_t pos = 0; pos < 1003; ++pos) {
+    const std::size_t bin = hist.bin_of(pos);
+    EXPECT_GE(pos, hist.bin_lo(bin));
+    EXPECT_LT(pos, hist.bin_hi(bin));
+  }
+}
+
+TEST(BinnedHistogramTest, LastBinAbsorbsRemainder) {
+  BinnedHistogram hist(0, 10, 3);
+  // width = 3; bins cover [0,3) [3,6) [6,10).
+  EXPECT_EQ(hist.bin_hi(2), 10u);
+  hist.add(9);
+  EXPECT_EQ(hist.bin_weight(2), 1u);
+}
+
+TEST(BinnedHistogramTest, MergeSumsElementwise) {
+  BinnedHistogram a(0, 100, 4), b(0, 100, 4);
+  a.add(10, 2);
+  b.add(10, 3);
+  b.add(90, 7);
+  a.merge(b);
+  EXPECT_EQ(a.bin_weight(0), 5u);
+  EXPECT_EQ(a.bin_weight(3), 7u);
+  EXPECT_EQ(a.total(), 12u);
+}
+
+TEST(BinnedHistogramTest, MoreBinsThanPositionsClamps) {
+  BinnedHistogram hist(0, 5, 100);
+  EXPECT_EQ(hist.bin_count(), 5u);
+}
+
+TEST(BinnedHistogramDeathTest, MergeGeometryMismatchAborts) {
+  BinnedHistogram a(0, 100, 4), b(0, 100, 8);
+  EXPECT_DEATH(a.merge(b), "geometry");
+}
+
+// -------------------------------------------------- greedy partitioning
+
+TEST(GreedyPartitionTest, UniformWeightsSplitEvenly) {
+  std::vector<std::uint64_t> weights(100, 10);
+  const auto result = greedy_contiguous_partition(weights, 4);
+  ASSERT_EQ(result.part_weights.size(), 4u);
+  for (const auto w : result.part_weights) {
+    EXPECT_NEAR(static_cast<double>(w), 250.0, 10.0);
+  }
+}
+
+TEST(GreedyPartitionTest, CoversAllWeight) {
+  std::vector<std::uint64_t> weights = {5, 0, 100, 3, 3, 3, 50, 0, 1};
+  const auto result = greedy_contiguous_partition(weights, 3);
+  const std::uint64_t total =
+      std::accumulate(weights.begin(), weights.end(), std::uint64_t{0});
+  std::uint64_t assigned = 0;
+  for (const auto w : result.part_weights) assigned += w;
+  EXPECT_EQ(assigned, total);
+}
+
+TEST(GreedyPartitionTest, SinglePartTakesEverything) {
+  std::vector<std::uint64_t> weights = {1, 2, 3};
+  const auto result = greedy_contiguous_partition(weights, 1);
+  EXPECT_TRUE(result.cuts.empty());
+  EXPECT_EQ(result.part_weights[0], 6u);
+}
+
+TEST(GreedyPartitionTest, MorePartsThanWeights) {
+  std::vector<std::uint64_t> weights = {9, 9};
+  const auto result = greedy_contiguous_partition(weights, 5);
+  ASSERT_EQ(result.cuts.size(), 4u);
+  std::uint64_t assigned = 0;
+  for (const auto w : result.part_weights) assigned += w;
+  EXPECT_EQ(assigned, 18u);
+}
+
+TEST(GreedyPartitionTest, GreedyBoundHolds) {
+  // The heaviest part must not exceed ideal + max single weight.
+  SplitMix64 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint64_t> weights(200);
+    std::uint64_t total = 0, biggest = 0;
+    for (auto& w : weights) {
+      w = rng.next_below(1000);
+      total += w;
+      biggest = std::max(biggest, w);
+    }
+    const std::size_t parts = 1 + rng.next_below(16);
+    const auto result = greedy_contiguous_partition(weights, parts);
+    const double ideal = static_cast<double>(total) / parts;
+    for (const auto w : result.part_weights) {
+      EXPECT_LE(static_cast<double>(w), ideal + biggest + 1);
+    }
+  }
+}
+
+TEST(GreedyPartitionTest, CutsAreMonotone) {
+  std::vector<std::uint64_t> weights = {100, 0, 0, 0, 0, 0, 0, 100};
+  const auto result = greedy_contiguous_partition(weights, 4);
+  for (std::size_t i = 1; i < result.cuts.size(); ++i) {
+    EXPECT_LE(result.cuts[i - 1], result.cuts[i]);
+  }
+}
+
+// -------------------------------------------------------------- RunningStats
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 1.25);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  SplitMix64 rng(3);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 100;
+    whole.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, ImbalanceOfPerfectBalanceIsOne) {
+  RunningStats stats;
+  for (int i = 0; i < 10; ++i) stats.add(5.0);
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 1.0);
+}
+
+TEST(RunningStatsTest, SummarizeVector) {
+  const auto stats = summarize(std::vector<std::uint64_t>{2, 4, 6});
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 12.0);
+}
+
+// -------------------------------------------------------------------- units
+
+TEST(UnitsTest, Constants) {
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kMB, 1000u * 1000u);
+  EXPECT_DOUBLE_EQ(bits_per_sec(100e6), 12.5e6);
+}
+
+}  // namespace
+}  // namespace ehja

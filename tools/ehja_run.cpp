@@ -1,0 +1,207 @@
+// ehja_run -- command-line front end for the EHJA library.
+//
+//   ehja_run [options]
+//     --algorithm=split|replicated|hybrid|ooc|auto   (default hybrid;
+//                  auto asks the planner, paper ss6 decision rule)
+//     --initial-nodes=N     initial working join nodes        (default 4)
+//     --pool=N              join-node pool size               (default 24)
+//     --sources=N           data source processes             (default 4)
+//     --build=N             build-relation tuples             (default 1e6)
+//     --probe=N             probe-relation tuples             (default 1e6)
+//     --tuple-bytes=N       tuple size incl. 16 B header      (default 100)
+//     --memory-mib=N        per-node hash memory              (default 8)
+//     --dist=SPEC           uniform | gaussian:SIGMA | zipf:S:DOMAIN |
+//                           smalldomain:DOMAIN               (default uniform)
+//     --chunk=N             tuples per transport chunk        (default 10000)
+//     --seed=N              RNG seed                          (default 1)
+//     --split-variant=requester|pointer                (default requester)
+//     --runtime=sim|thread  execution runtime                 (default sim)
+//     --topology=switched|bus
+//     --trace-csv=FILE      dump the run trace as CSV
+//     --verify              check the result against the serial oracle
+//     --quiet / --verbose   log level
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/driver.hpp"
+#include "core/planner.hpp"
+#include "trace/trace.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace ehja;
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "ehja_run: %s (see the header of tools/ehja_run.cpp)\n",
+               message.c_str());
+  std::exit(2);
+}
+
+bool match_flag(const char* arg, const char* name, std::string* value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+DistributionSpec parse_dist(const std::string& spec) {
+  if (spec == "uniform") return DistributionSpec::Uniform();
+  if (spec.rfind("gaussian:", 0) == 0) {
+    return DistributionSpec::Gaussian(0.5, std::atof(spec.c_str() + 9));
+  }
+  if (spec.rfind("zipf:", 0) == 0) {
+    const std::string rest = spec.substr(5);
+    const auto colon = rest.find(':');
+    if (colon == std::string::npos) usage_error("zipf needs zipf:S:DOMAIN");
+    return DistributionSpec::Zipf(
+        std::atof(rest.substr(0, colon).c_str()),
+        std::strtoull(rest.c_str() + colon + 1, nullptr, 10));
+  }
+  if (spec.rfind("smalldomain:", 0) == 0) {
+    return DistributionSpec::SmallDomain(
+        std::strtoull(spec.c_str() + 12, nullptr, 10));
+  }
+  usage_error("unknown --dist " + spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  EhjaConfig config;
+  config.build_rel.tuple_count = 1'000'000;
+  config.probe_rel.tuple_count = 1'000'000;
+  config.node_hash_memory_bytes = 8 * kMiB;
+
+  bool auto_algorithm = false;
+  bool verify = false;
+  RuntimeKind runtime = RuntimeKind::kSim;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (match_flag(argv[i], "--algorithm", &value)) {
+      if (value == "split") config.algorithm = Algorithm::kSplit;
+      else if (value == "replicated") config.algorithm = Algorithm::kReplicate;
+      else if (value == "hybrid") config.algorithm = Algorithm::kHybrid;
+      else if (value == "ooc") config.algorithm = Algorithm::kOutOfCore;
+      else if (value == "auto") auto_algorithm = true;
+      else usage_error("unknown --algorithm " + value);
+    } else if (match_flag(argv[i], "--initial-nodes", &value)) {
+      config.initial_join_nodes = static_cast<std::uint32_t>(std::atoi(value.c_str()));
+    } else if (match_flag(argv[i], "--pool", &value)) {
+      config.join_pool_nodes = static_cast<std::uint32_t>(std::atoi(value.c_str()));
+    } else if (match_flag(argv[i], "--sources", &value)) {
+      config.data_sources = static_cast<std::uint32_t>(std::atoi(value.c_str()));
+    } else if (match_flag(argv[i], "--build", &value)) {
+      config.build_rel.tuple_count = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (match_flag(argv[i], "--probe", &value)) {
+      config.probe_rel.tuple_count = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (match_flag(argv[i], "--tuple-bytes", &value)) {
+      const auto bytes = static_cast<std::uint32_t>(std::atoi(value.c_str()));
+      config.build_rel.schema = Schema{bytes};
+      config.probe_rel.schema = Schema{bytes};
+    } else if (match_flag(argv[i], "--memory-mib", &value)) {
+      config.node_hash_memory_bytes =
+          std::strtoull(value.c_str(), nullptr, 10) * kMiB;
+    } else if (match_flag(argv[i], "--dist", &value)) {
+      config.build_rel.dist = parse_dist(value);
+      config.probe_rel.dist = config.build_rel.dist;
+    } else if (match_flag(argv[i], "--chunk", &value)) {
+      config.chunk_tuples = static_cast<std::uint32_t>(std::atoi(value.c_str()));
+      config.generation_slice_tuples = config.chunk_tuples;
+    } else if (match_flag(argv[i], "--seed", &value)) {
+      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (match_flag(argv[i], "--split-variant", &value)) {
+      if (value == "requester") config.split_variant = SplitVariant::kRequesterMidpoint;
+      else if (value == "pointer") config.split_variant = SplitVariant::kLinearPointer;
+      else usage_error("unknown --split-variant " + value);
+    } else if (match_flag(argv[i], "--runtime", &value)) {
+      if (value == "sim") runtime = RuntimeKind::kSim;
+      else if (value == "thread") runtime = RuntimeKind::kThread;
+      else usage_error("unknown --runtime " + value);
+    } else if (match_flag(argv[i], "--topology", &value)) {
+      if (value == "switched") config.link.topology = Topology::kSwitched;
+      else if (value == "bus") config.link.topology = Topology::kSharedBus;
+      else usage_error("unknown --topology " + value);
+    } else if (match_flag(argv[i], "--trace-csv", &value)) {
+      trace_path = value;
+    } else if (match_flag(argv[i], "--verify", &value)) {
+      verify = true;
+    } else if (match_flag(argv[i], "--quiet", &value)) {
+      set_log_level(LogLevel::kError);
+    } else if (match_flag(argv[i], "--verbose", &value)) {
+      set_log_level(LogLevel::kInfo);
+    } else {
+      usage_error(std::string("unknown option ") + argv[i]);
+    }
+  }
+
+  if (auto_algorithm) {
+    PlannerInputs inputs;
+    inputs.build_tuples = config.build_rel.tuple_count;
+    inputs.probe_tuples = config.probe_rel.tuple_count;
+    const PlannerDecision decision = choose_algorithm(config, inputs);
+    config.algorithm = decision.algorithm;
+    std::printf("planner: %s -- %s\n", algorithm_name(decision.algorithm),
+                decision.rationale.c_str());
+  }
+
+  TraceSink sink;
+  if (!trace_path.empty()) config.trace = &sink;
+
+  std::printf("config: %s\n", config.to_string().c_str());
+  const RunResult result = run_ehja(config, runtime);
+  const RunMetrics& m = result.metrics;
+
+  std::printf("\n-- timeline (virtual seconds) --\n");
+  std::printf("build %.3f | reshuffle %.3f | probe %.3f | finish %.3f | "
+              "total %.3f\n",
+              m.build_time(), m.reshuffle_time(), m.probe_time(),
+              m.finish_time(), m.total_time());
+  std::printf("-- expansion --\n");
+  std::printf("nodes %u -> %u (%u recruited)%s | split time %.3f s | "
+              "handoff time %.3f s\n",
+              m.initial_join_nodes, m.final_join_nodes, m.expansions,
+              m.pool_exhausted ? " [pool exhausted]" : "", m.split_time,
+              m.expand_time);
+  std::printf("-- communication --\n");
+  std::printf("source chunks: %llu build, %llu probe | node-to-node: %llu\n",
+              static_cast<unsigned long long>(m.source_build_chunks),
+              static_cast<unsigned long long>(m.source_probe_chunks),
+              static_cast<unsigned long long>(m.extra_build_chunks));
+  const RunningStats load = summarize(m.load_chunks(config.chunk_tuples));
+  std::printf("-- load balance (chunks per node) --\n");
+  std::printf("min %.1f | avg %.1f | max %.1f | imbalance %.2f\n", load.min(),
+              load.mean(), load.max(), load.imbalance());
+  std::printf("-- output --\n");
+  std::printf("%llu matches, checksum %016llx\n",
+              static_cast<unsigned long long>(result.join().matches),
+              static_cast<unsigned long long>(result.join().checksum));
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    sink.write_csv(out);
+    std::printf("trace: %zu events -> %s\n", sink.size(), trace_path.c_str());
+  }
+
+  if (verify) {
+    const JoinResult oracle = reference_join(config);
+    const bool ok = result.join() == oracle;
+    std::printf("verify: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}
