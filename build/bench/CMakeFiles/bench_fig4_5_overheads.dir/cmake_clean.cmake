@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_5_overheads.dir/bench_fig4_5_overheads.cpp.o"
+  "CMakeFiles/bench_fig4_5_overheads.dir/bench_fig4_5_overheads.cpp.o.d"
+  "bench_fig4_5_overheads"
+  "bench_fig4_5_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_5_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_9_build_larger.dir/bench_fig8_9_build_larger.cpp.o"
+  "CMakeFiles/bench_fig8_9_build_larger.dir/bench_fig8_9_build_larger.cpp.o.d"
+  "bench_fig8_9_build_larger"
+  "bench_fig8_9_build_larger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_build_larger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_planner.dir/auto_planner.cpp.o"
+  "CMakeFiles/auto_planner.dir/auto_planner.cpp.o.d"
+  "auto_planner"
+  "auto_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_spec.cpp" "src/CMakeFiles/ehja_cluster.dir/cluster/cluster_spec.cpp.o" "gcc" "src/CMakeFiles/ehja_cluster.dir/cluster/cluster_spec.cpp.o.d"
+  "/root/repo/src/cluster/cost_model.cpp" "src/CMakeFiles/ehja_cluster.dir/cluster/cost_model.cpp.o" "gcc" "src/CMakeFiles/ehja_cluster.dir/cluster/cost_model.cpp.o.d"
+  "/root/repo/src/cluster/resource_pool.cpp" "src/CMakeFiles/ehja_cluster.dir/cluster/resource_pool.cpp.o" "gcc" "src/CMakeFiles/ehja_cluster.dir/cluster/resource_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ehja_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

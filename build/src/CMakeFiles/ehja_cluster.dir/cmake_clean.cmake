@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_cluster.dir/cluster/cluster_spec.cpp.o"
+  "CMakeFiles/ehja_cluster.dir/cluster/cluster_spec.cpp.o.d"
+  "CMakeFiles/ehja_cluster.dir/cluster/cost_model.cpp.o"
+  "CMakeFiles/ehja_cluster.dir/cluster/cost_model.cpp.o.d"
+  "CMakeFiles/ehja_cluster.dir/cluster/resource_pool.cpp.o"
+  "CMakeFiles/ehja_cluster.dir/cluster/resource_pool.cpp.o.d"
+  "libehja_cluster.a"
+  "libehja_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

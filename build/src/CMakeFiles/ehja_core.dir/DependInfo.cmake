@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/ehja_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/ehja_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/data_source.cpp" "src/CMakeFiles/ehja_core.dir/core/data_source.cpp.o" "gcc" "src/CMakeFiles/ehja_core.dir/core/data_source.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "src/CMakeFiles/ehja_core.dir/core/driver.cpp.o" "gcc" "src/CMakeFiles/ehja_core.dir/core/driver.cpp.o.d"
+  "/root/repo/src/core/join_process.cpp" "src/CMakeFiles/ehja_core.dir/core/join_process.cpp.o" "gcc" "src/CMakeFiles/ehja_core.dir/core/join_process.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/CMakeFiles/ehja_core.dir/core/messages.cpp.o" "gcc" "src/CMakeFiles/ehja_core.dir/core/messages.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/ehja_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/ehja_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/ehja_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/ehja_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/CMakeFiles/ehja_core.dir/core/planner.cpp.o" "gcc" "src/CMakeFiles/ehja_core.dir/core/planner.cpp.o.d"
+  "/root/repo/src/core/reshuffle.cpp" "src/CMakeFiles/ehja_core.dir/core/reshuffle.cpp.o" "gcc" "src/CMakeFiles/ehja_core.dir/core/reshuffle.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/ehja_core.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/ehja_core.dir/core/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ehja_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

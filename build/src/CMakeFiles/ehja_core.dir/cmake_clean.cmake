@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_core.dir/core/config.cpp.o"
+  "CMakeFiles/ehja_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/ehja_core.dir/core/data_source.cpp.o"
+  "CMakeFiles/ehja_core.dir/core/data_source.cpp.o.d"
+  "CMakeFiles/ehja_core.dir/core/driver.cpp.o"
+  "CMakeFiles/ehja_core.dir/core/driver.cpp.o.d"
+  "CMakeFiles/ehja_core.dir/core/join_process.cpp.o"
+  "CMakeFiles/ehja_core.dir/core/join_process.cpp.o.d"
+  "CMakeFiles/ehja_core.dir/core/messages.cpp.o"
+  "CMakeFiles/ehja_core.dir/core/messages.cpp.o.d"
+  "CMakeFiles/ehja_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/ehja_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/ehja_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/ehja_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/ehja_core.dir/core/planner.cpp.o"
+  "CMakeFiles/ehja_core.dir/core/planner.cpp.o.d"
+  "CMakeFiles/ehja_core.dir/core/reshuffle.cpp.o"
+  "CMakeFiles/ehja_core.dir/core/reshuffle.cpp.o.d"
+  "CMakeFiles/ehja_core.dir/core/scheduler.cpp.o"
+  "CMakeFiles/ehja_core.dir/core/scheduler.cpp.o.d"
+  "libehja_core.a"
+  "libehja_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/hash_family.cpp" "src/CMakeFiles/ehja_hash.dir/hash/hash_family.cpp.o" "gcc" "src/CMakeFiles/ehja_hash.dir/hash/hash_family.cpp.o.d"
+  "/root/repo/src/hash/local_hash_table.cpp" "src/CMakeFiles/ehja_hash.dir/hash/local_hash_table.cpp.o" "gcc" "src/CMakeFiles/ehja_hash.dir/hash/local_hash_table.cpp.o.d"
+  "/root/repo/src/hash/partition_map.cpp" "src/CMakeFiles/ehja_hash.dir/hash/partition_map.cpp.o" "gcc" "src/CMakeFiles/ehja_hash.dir/hash/partition_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ehja_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

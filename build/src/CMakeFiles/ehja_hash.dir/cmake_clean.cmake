@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_hash.dir/hash/hash_family.cpp.o"
+  "CMakeFiles/ehja_hash.dir/hash/hash_family.cpp.o.d"
+  "CMakeFiles/ehja_hash.dir/hash/local_hash_table.cpp.o"
+  "CMakeFiles/ehja_hash.dir/hash/local_hash_table.cpp.o.d"
+  "CMakeFiles/ehja_hash.dir/hash/partition_map.cpp.o"
+  "CMakeFiles/ehja_hash.dir/hash/partition_map.cpp.o.d"
+  "libehja_hash.a"
+  "libehja_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

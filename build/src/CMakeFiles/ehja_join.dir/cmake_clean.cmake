@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_join.dir/join/grace_join.cpp.o"
+  "CMakeFiles/ehja_join.dir/join/grace_join.cpp.o.d"
+  "CMakeFiles/ehja_join.dir/join/serial_join.cpp.o"
+  "CMakeFiles/ehja_join.dir/join/serial_join.cpp.o.d"
+  "CMakeFiles/ehja_join.dir/join/sort_merge_join.cpp.o"
+  "CMakeFiles/ehja_join.dir/join/sort_merge_join.cpp.o.d"
+  "libehja_join.a"
+  "libehja_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

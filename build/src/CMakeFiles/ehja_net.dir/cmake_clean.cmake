@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_net.dir/net/network.cpp.o"
+  "CMakeFiles/ehja_net.dir/net/network.cpp.o.d"
+  "libehja_net.a"
+  "libehja_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

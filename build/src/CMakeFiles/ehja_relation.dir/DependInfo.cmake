@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/chunk.cpp" "src/CMakeFiles/ehja_relation.dir/relation/chunk.cpp.o" "gcc" "src/CMakeFiles/ehja_relation.dir/relation/chunk.cpp.o.d"
+  "/root/repo/src/relation/relation.cpp" "src/CMakeFiles/ehja_relation.dir/relation/relation.cpp.o" "gcc" "src/CMakeFiles/ehja_relation.dir/relation/relation.cpp.o.d"
+  "/root/repo/src/relation/tuple.cpp" "src/CMakeFiles/ehja_relation.dir/relation/tuple.cpp.o" "gcc" "src/CMakeFiles/ehja_relation.dir/relation/tuple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ehja_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_relation.dir/relation/chunk.cpp.o"
+  "CMakeFiles/ehja_relation.dir/relation/chunk.cpp.o.d"
+  "CMakeFiles/ehja_relation.dir/relation/relation.cpp.o"
+  "CMakeFiles/ehja_relation.dir/relation/relation.cpp.o.d"
+  "CMakeFiles/ehja_relation.dir/relation/tuple.cpp.o"
+  "CMakeFiles/ehja_relation.dir/relation/tuple.cpp.o.d"
+  "libehja_relation.a"
+  "libehja_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/actor.cpp" "src/CMakeFiles/ehja_runtime.dir/runtime/actor.cpp.o" "gcc" "src/CMakeFiles/ehja_runtime.dir/runtime/actor.cpp.o.d"
+  "/root/repo/src/runtime/message.cpp" "src/CMakeFiles/ehja_runtime.dir/runtime/message.cpp.o" "gcc" "src/CMakeFiles/ehja_runtime.dir/runtime/message.cpp.o.d"
+  "/root/repo/src/runtime/sim_runtime.cpp" "src/CMakeFiles/ehja_runtime.dir/runtime/sim_runtime.cpp.o" "gcc" "src/CMakeFiles/ehja_runtime.dir/runtime/sim_runtime.cpp.o.d"
+  "/root/repo/src/runtime/thread_runtime.cpp" "src/CMakeFiles/ehja_runtime.dir/runtime/thread_runtime.cpp.o" "gcc" "src/CMakeFiles/ehja_runtime.dir/runtime/thread_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ehja_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

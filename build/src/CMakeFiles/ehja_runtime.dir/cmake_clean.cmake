@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_runtime.dir/runtime/actor.cpp.o"
+  "CMakeFiles/ehja_runtime.dir/runtime/actor.cpp.o.d"
+  "CMakeFiles/ehja_runtime.dir/runtime/message.cpp.o"
+  "CMakeFiles/ehja_runtime.dir/runtime/message.cpp.o.d"
+  "CMakeFiles/ehja_runtime.dir/runtime/sim_runtime.cpp.o"
+  "CMakeFiles/ehja_runtime.dir/runtime/sim_runtime.cpp.o.d"
+  "CMakeFiles/ehja_runtime.dir/runtime/thread_runtime.cpp.o"
+  "CMakeFiles/ehja_runtime.dir/runtime/thread_runtime.cpp.o.d"
+  "libehja_runtime.a"
+  "libehja_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ehja_runtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/ehja_sim.dir/sim/simulator.cpp.o.d"
+  "libehja_sim.a"
+  "libehja_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

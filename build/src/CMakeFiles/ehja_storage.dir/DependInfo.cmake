@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/sim_disk.cpp" "src/CMakeFiles/ehja_storage.dir/storage/sim_disk.cpp.o" "gcc" "src/CMakeFiles/ehja_storage.dir/storage/sim_disk.cpp.o.d"
+  "/root/repo/src/storage/spill_file.cpp" "src/CMakeFiles/ehja_storage.dir/storage/spill_file.cpp.o" "gcc" "src/CMakeFiles/ehja_storage.dir/storage/spill_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ehja_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_storage.dir/storage/sim_disk.cpp.o"
+  "CMakeFiles/ehja_storage.dir/storage/sim_disk.cpp.o.d"
+  "CMakeFiles/ehja_storage.dir/storage/spill_file.cpp.o"
+  "CMakeFiles/ehja_storage.dir/storage/spill_file.cpp.o.d"
+  "libehja_storage.a"
+  "libehja_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

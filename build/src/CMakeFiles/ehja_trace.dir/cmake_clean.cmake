@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_trace.dir/trace/trace.cpp.o"
+  "CMakeFiles/ehja_trace.dir/trace/trace.cpp.o.d"
+  "libehja_trace.a"
+  "libehja_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

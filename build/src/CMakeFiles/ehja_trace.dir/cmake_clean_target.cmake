@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libehja_trace.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/ehja_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/ehja_util.dir/util/log.cpp.o"
+  "CMakeFiles/ehja_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/ehja_util.dir/util/partition.cpp.o"
+  "CMakeFiles/ehja_util.dir/util/partition.cpp.o.d"
+  "CMakeFiles/ehja_util.dir/util/rng.cpp.o"
+  "CMakeFiles/ehja_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/ehja_util.dir/util/stats.cpp.o"
+  "CMakeFiles/ehja_util.dir/util/stats.cpp.o.d"
+  "libehja_util.a"
+  "libehja_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_workload.dir/workload/distribution.cpp.o"
+  "CMakeFiles/ehja_workload.dir/workload/distribution.cpp.o.d"
+  "CMakeFiles/ehja_workload.dir/workload/generator.cpp.o"
+  "CMakeFiles/ehja_workload.dir/workload/generator.cpp.o.d"
+  "libehja_workload.a"
+  "libehja_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

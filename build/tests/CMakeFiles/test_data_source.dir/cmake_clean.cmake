@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_source.dir/test_data_source.cpp.o"
+  "CMakeFiles/test_data_source.dir/test_data_source.cpp.o.d"
+  "test_data_source"
+  "test_data_source.pdb"
+  "test_data_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_join_actor.cpp" "tests/CMakeFiles/test_join_actor.dir/test_join_actor.cpp.o" "gcc" "tests/CMakeFiles/test_join_actor.dir/test_join_actor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ehja_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ehja_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

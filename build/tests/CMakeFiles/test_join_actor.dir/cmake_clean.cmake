@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_join_actor.dir/test_join_actor.cpp.o"
+  "CMakeFiles/test_join_actor.dir/test_join_actor.cpp.o.d"
+  "test_join_actor"
+  "test_join_actor.pdb"
+  "test_join_actor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_join_actor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reshuffle.dir/test_reshuffle.cpp.o"
+  "CMakeFiles/test_reshuffle.dir/test_reshuffle.cpp.o.d"
+  "test_reshuffle"
+  "test_reshuffle.pdb"
+  "test_reshuffle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reshuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehja_run.dir/ehja_run.cpp.o"
+  "CMakeFiles/ehja_run.dir/ehja_run.cpp.o.d"
+  "ehja_run"
+  "ehja_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehja_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
