@@ -45,6 +45,11 @@ inline constexpr Algorithm kFigureAlgorithms[] = {
     Algorithm::kOutOfCore};
 inline constexpr Algorithm kEhjaAlgorithms[] = {
     Algorithm::kReplicate, Algorithm::kSplit, Algorithm::kHybrid};
+/// The strategy-choice comparison: the three fixed EHJAs against the
+/// adaptive policy that picks split-vs-replicate per overflow.
+inline constexpr Algorithm kStrategyAlgorithms[] = {
+    Algorithm::kReplicate, Algorithm::kSplit, Algorithm::kHybrid,
+    Algorithm::kAdaptive};
 
 /// Aligned text table: one row per sweep point, one column per series.
 class FigureTable {

@@ -1,4 +1,25 @@
 #include "cluster/cost_model.hpp"
 
-// CostModel and DiskConfig are aggregates; this translation unit exists so
-// the module owns a .cpp (and future non-inline helpers have a home).
+namespace ehja {
+
+double build_migration_cost_sec(const CostModel& cost, std::uint64_t tuples,
+                                std::uint64_t tuple_bytes,
+                                double sec_per_byte) {
+  const double per_tuple_cpu = cost.scaled(cost.tuple_pack_sec) * 2.0 +
+                               cost.scaled(cost.tuple_insert_sec);
+  const double per_tuple_wire =
+      static_cast<double>(tuple_bytes) * sec_per_byte;
+  return static_cast<double>(tuples) * (per_tuple_cpu + per_tuple_wire);
+}
+
+double probe_broadcast_cost_sec(const CostModel& cost, std::uint64_t tuples,
+                                std::uint64_t tuple_bytes,
+                                double sec_per_byte) {
+  const double per_tuple_cpu = cost.scaled(cost.tuple_pack_sec) * 2.0 +
+                               cost.scaled(cost.tuple_probe_sec);
+  const double per_tuple_wire =
+      static_cast<double>(tuple_bytes) * sec_per_byte;
+  return static_cast<double>(tuples) * (per_tuple_cpu + per_tuple_wire);
+}
+
+}  // namespace ehja

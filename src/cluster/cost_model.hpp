@@ -38,6 +38,24 @@ struct CostModel {
   double scaled(double sec) const { return sec * cpu_scale; }
 };
 
+/// One-shot expansion cost estimates the adaptive policy compares on each
+/// overflow (core/expansion_policy.hpp).  `sec_per_byte` is the inverse
+/// link bandwidth; both helpers price CPU per tuple plus wire transfer.
+
+/// Migrate `tuples` build tuples to a fresh node during the build: pack at
+/// the sender, wire transfer, unpack + re-insert at the receiver.  Paid
+/// once, when the split op runs.
+double build_migration_cost_sec(const CostModel& cost, std::uint64_t tuples,
+                                std::uint64_t tuple_bytes,
+                                double sec_per_byte);
+
+/// Deliver `tuples` extra probe tuples to one additional replica of a
+/// range: pack at the source, wire transfer, probe at the replica.  Paid
+/// over the whole probe phase -- the recurring price of a replica.
+double probe_broadcast_cost_sec(const CostModel& cost, std::uint64_t tuples,
+                                std::uint64_t tuple_bytes,
+                                double sec_per_byte);
+
 struct DiskConfig {
   /// Effective write bandwidth, bytes/second: a 2004 IDE disk moved
   /// ~30-35 MB/s sequentially, minus filesystem overhead.  With the

@@ -20,6 +20,7 @@ const char* algorithm_name(Algorithm algorithm) {
     case Algorithm::kReplicate: return "replicated";
     case Algorithm::kHybrid: return "hybrid";
     case Algorithm::kOutOfCore: return "out-of-core";
+    case Algorithm::kAdaptive: return "adaptive";
   }
   return "?";
 }
@@ -31,6 +32,7 @@ void EhjaConfig::validate() const {
   EHJA_CHECK(data_sources >= 1);
   EHJA_CHECK(chunk_tuples >= 1);
   EHJA_CHECK(generation_slice_tuples >= 1);
+  EHJA_CHECK(source_progress_slices >= 1);
   EHJA_CHECK(build_rel.tuple_count >= 1);
   EHJA_CHECK(build_rel.schema.tuple_bytes >= 16);
   EHJA_CHECK(probe_rel.schema.tuple_bytes >= 16);

@@ -13,12 +13,17 @@
 namespace ehja {
 
 /// The four algorithms of the paper's evaluation (ss5): the three EHJAs plus
-/// the non-expanding out-of-core baseline.
+/// the non-expanding out-of-core baseline -- and kAdaptive, an extension
+/// answering ss6's "which strategy when" question per overflow: the
+/// scheduler compares the cost model's estimate of a split's one-time
+/// build migration against a replica's recurring probe broadcast and picks
+/// the cheaper expansion each time (core/expansion_policy.hpp).
 enum class Algorithm : std::uint8_t {
   kSplit,      // ss4.2.1, linear hashing across nodes
   kReplicate,  // ss4.2.2, replicate the overflowed range
   kHybrid,     // ss4.2.3, replicate then reshuffle
   kOutOfCore,  // baseline: spill to local disk, never expand
+  kAdaptive,   // extension: cost-model split-vs-replicate per overflow
 };
 
 const char* algorithm_name(Algorithm algorithm);
@@ -65,6 +70,12 @@ struct EhjaConfig {
   std::uint32_t generation_slice_tuples = 10'000;
 
   std::uint64_t seed = 20040607;  // HPDC'04 conference date
+
+  /// How often a data source reports build-generation progress to the
+  /// scheduler, in generation slices (kAdaptive only: the reports feed the
+  /// observed-rate side of the cost comparison; the paper's algorithms run
+  /// without them, and emitting them would perturb their event timing).
+  std::uint32_t source_progress_slices = 8;
 
   /// Reshuffle histogram resolution (bins per replicated range).  The paper
   /// sums *per-position* entry counts ("each node counts the number of

@@ -76,6 +76,19 @@ void DataSourceActor::generate_slice() {
   }
   charge(static_cast<double>(produced) * config_->cost.tuple_generate_sec);
 
+  // The adaptive policy's observed-rate input.  Only kAdaptive pays for
+  // these reports: under the paper's algorithms the extra control messages
+  // would perturb event timing without anyone reading them.
+  if (config_->algorithm == Algorithm::kAdaptive && phase_ == Phase::kBuild &&
+      ++slices_since_report_ >= config_->source_progress_slices) {
+    slices_since_report_ = 0;
+    SourceProgressPayload progress;
+    progress.rel = rel;
+    progress.tuples_sent = tuples_sent_;
+    send(scheduler_,
+         make_message(Tag::kSourceProgress, progress, kControlWireBytes));
+  }
+
   if (stream_->remaining() > 0) {
     defer(make_signal(Tag::kGenSlice));
     return;

@@ -62,6 +62,8 @@ class DataSourceActor final : public Actor {
   std::uint64_t build_chunks_ = 0;
   std::uint64_t probe_chunks_ = 0;
   std::uint64_t tuples_sent_ = 0;
+  /// Build slices since the last kSourceProgress report (kAdaptive only).
+  std::uint32_t slices_since_report_ = 0;
 };
 
 }  // namespace ehja

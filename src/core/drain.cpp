@@ -1,0 +1,46 @@
+#include "core/drain.hpp"
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+void DrainProtocol::arm() {
+  prev_.reset();
+  in_round_ = false;
+}
+
+DrainProbePayload DrainProtocol::begin_round() {
+  ++epoch_;
+  in_round_ = true;
+  acks_ = 0;
+  received_ = 0;
+  forwarded_ = 0;
+  DrainProbePayload probe;
+  probe.epoch = epoch_;
+  return probe;
+}
+
+void DrainProtocol::abort() {
+  in_round_ = false;
+  prev_.reset();
+}
+
+DrainProtocol::Outcome DrainProtocol::on_ack(
+    const DrainAckPayload& ack, std::size_t join_count,
+    std::uint64_t expected_source_chunks) {
+  if (ack.epoch != epoch_) return Outcome::kStale;  // older round
+  if (!in_round_) return Outcome::kStale;           // round aborted
+  ++acks_;
+  received_ += ack.data_chunks_received;
+  forwarded_ += ack.data_chunks_forwarded;
+  if (acks_ < join_count) return Outcome::kPending;
+
+  in_round_ = false;
+  const auto totals = std::make_pair(received_, forwarded_);
+  const bool balanced = received_ == expected_source_chunks + forwarded_;
+  const bool stable = prev_.has_value() && *prev_ == totals;
+  prev_ = totals;
+  return balanced && stable ? Outcome::kDrained : Outcome::kRepoll;
+}
+
+}  // namespace ehja

@@ -1,0 +1,72 @@
+// Counter-termination drain protocol (scheduler side).
+//
+// Chunks can be in flight or be re-forwarded between nodes (stale-source
+// routing), so "sources are done" does not mean "nodes have everything".
+// The scheduler polls every join node for its cumulative (data chunks
+// received, data chunks forwarded) counters and declares a phase drained
+// when
+//     received == chunks sent by sources + forwarded by nodes
+// and the totals are identical across two consecutive polls (Mattern-style
+// counter termination detection -- a single matching poll can be fooled by
+// a chunk counted at the receiver but not yet at its sender's poll).
+//
+// This class is the pure state machine: rounds, epochs, ack accounting and
+// the two-consecutive-poll stability rule.  The scheduler owns the wire
+// side (broadcasting kDrainProbe, reacting to the outcome) and aborts the
+// drain when an expansion op starts mid-drain; op completion re-arms it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "core/messages.hpp"
+
+namespace ehja {
+
+class DrainProtocol {
+ public:
+  enum class Outcome {
+    kStale,    // ack for an older epoch or an aborted round: ignore
+    kPending,  // round still collecting acks
+    kRepoll,   // round complete but not provably drained: poll again
+    kDrained,  // two consecutive balanced, identical rounds: phase is over
+  };
+
+  /// Arm a fresh drain: forget the stability history.  Called at every
+  /// phase transition into a drain and after an abort.
+  void arm();
+
+  /// Begin the next poll round; returns the probe to broadcast.  Requires
+  /// an armed (non-aborted, non-finished) drain.
+  DrainProbePayload begin_round();
+
+  /// An expansion op invalidated the drain: outstanding acks of the
+  /// current round become stale.  arm() + begin_round() restart it.
+  void abort();
+
+  /// Account one ack.  `join_count` is the number of polled join actors,
+  /// `expected_source_chunks` the cumulative data chunks the sources
+  /// report having sent for the phases being drained.
+  Outcome on_ack(const DrainAckPayload& ack, std::size_t join_count,
+                 std::uint64_t expected_source_chunks);
+
+  /// Monotonic over the whole run (stale-ack detection across drains).
+  std::uint64_t epoch() const { return epoch_; }
+  bool in_round() const { return in_round_; }
+  /// Received-counter total of the previous round (trace/debugging).
+  std::uint64_t prev_received() const {
+    return prev_ ? prev_->first : 0;
+  }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  bool in_round_ = false;
+  std::uint32_t acks_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t forwarded_ = 0;
+  /// (received, forwarded) totals of the previous completed round.
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> prev_;
+};
+
+}  // namespace ehja

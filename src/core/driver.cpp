@@ -77,7 +77,7 @@ RunResult run_ehja(const EhjaConfig& config, RuntimeKind kind) {
   EHJA_CHECK_MSG(scheduler_raw->finished(),
                  "runtime stopped before the join completed");
   RunResult result;
-  result.metrics = scheduler_raw->metrics();
+  result.metrics = std::as_const(*scheduler_raw).metrics();
   result.runtime = kind;
   return result;
 }

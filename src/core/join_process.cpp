@@ -227,8 +227,9 @@ void JoinProcessActor::handle_probe_chunk(const Chunk& chunk) {
 
 void JoinProcessActor::handle_split_request(const SplitRequestPayload& req) {
   charge(config_->cost.control_handle_sec);
-  EHJA_CHECK_MSG(config_->algorithm == Algorithm::kSplit,
-                 "split request outside the split algorithm");
+  EHJA_CHECK_MSG(config_->algorithm == Algorithm::kSplit ||
+                     config_->algorithm == Algorithm::kAdaptive,
+                 "split request outside a splitting algorithm");
   EHJA_CHECK_MSG(!spiller_, "split request after switching to spill mode");
   EHJA_CHECK(req.moved.lo > range_.lo && req.moved.hi == range_.hi);
 
@@ -249,7 +250,8 @@ void JoinProcessActor::handle_split_request(const SplitRequestPayload& req) {
 
 void JoinProcessActor::handle_handoff(const HandoffStartPayload& handoff) {
   EHJA_CHECK(config_->algorithm == Algorithm::kReplicate ||
-             config_->algorithm == Algorithm::kHybrid);
+             config_->algorithm == Algorithm::kHybrid ||
+             config_->algorithm == Algorithm::kAdaptive);
   frozen_ = true;
   handoff_target_ = handoff.target;
   // In-flight and stale chunks are forwarded as they arrive (handle_build_

@@ -41,6 +41,7 @@ enum class Tag : int {
   kDrainAck = 32,      // join -> scheduler
   kBuildComplete = 33, // scheduler -> join: build phase over
   kStartProbe = 34,    // scheduler -> source: final map, begin relation S
+  kSourceProgress = 35,// source -> scheduler: build tuples so far (adaptive)
 
   // --- hybrid reshuffle ---
   kHistogramRequest = 40,  // scheduler -> join (replica-set member)
@@ -110,6 +111,11 @@ struct SourceDonePayload {
   RelTag rel = RelTag::kR;
   std::uint64_t chunks_sent = 0;
   std::uint64_t tuples_sent = 0;
+};
+
+struct SourceProgressPayload {
+  RelTag rel = RelTag::kR;
+  std::uint64_t tuples_sent = 0;  // cumulative for this source
 };
 
 struct DrainProbePayload {

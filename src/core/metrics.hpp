@@ -57,6 +57,9 @@ struct RunMetrics {
   std::uint32_t expansions = 0;       // nodes recruited during the build
   std::uint32_t final_join_nodes = 0;
   bool pool_exhausted = false;
+  /// kAdaptive only: how each overflow was resolved (sums to expansions).
+  std::uint32_t adaptive_splits = 0;
+  std::uint32_t adaptive_replicas = 0;
 
   // --- communication (chunks of the configured size) ---
   std::uint64_t source_build_chunks = 0;  // sources -> nodes, relation R

@@ -18,15 +18,15 @@ void SchedulerActor::wire(std::vector<ActorId> sources,
                           ResourcePool pool) {
   sources_ = std::move(sources);
   joins_ = std::move(initial_joins);
-  pool_.emplace(std::move(pool));
+  policy_ = ExpansionPolicy::make(config_, *this, std::move(pool));
   EHJA_CHECK(sources_.size() == config_->data_sources);
   EHJA_CHECK(joins_.size() == config_->initial_join_nodes);
 }
 
 void SchedulerActor::on_start() {
-  EHJA_CHECK_MSG(pool_.has_value(), "scheduler not wired before run");
-  metrics_.t_start = now();
-  trace(TraceKind::kPhase, 0, 0, "build");
+  EHJA_CHECK_MSG(policy_ != nullptr, "scheduler not wired before run");
+  metrics_.t_start = Actor::now();
+  trace_event(TraceKind::kPhase, 0, 0, "build");
   metrics_.initial_join_nodes = config_->initial_join_nodes;
 
   if (config_->balanced_initial_partition) {
@@ -43,13 +43,6 @@ void SchedulerActor::on_start() {
     map_ = PartitionMap::from_entries(plan_reshuffle(sampled, joins_));
   } else {
     map_ = PartitionMap::initial(joins_);
-  }
-  if (config_->algorithm == Algorithm::kSplit) {
-    // The Litwin pointer variant assumes equal-width level-0 buckets.
-    EHJA_CHECK_MSG(config_->split_variant == SplitVariant::kRequesterMidpoint ||
-                       !config_->balanced_initial_partition,
-                   "linear-pointer split needs equal initial ranges");
-    linear_.emplace(config_->initial_join_nodes);
   }
 
   // Hand every initial join node its bucket...
@@ -80,7 +73,10 @@ void SchedulerActor::on_message(const Message& msg) {
       handle_op_complete(msg.as<OpCompletePayload>());
       break;
     case Tag::kSourceDone:
-      handle_source_done(msg.as<SourceDonePayload>());
+      handle_source_done(msg.from, msg.as<SourceDonePayload>());
+      break;
+    case Tag::kSourceProgress:
+      handle_source_progress(msg.from, msg.as<SourceProgressPayload>());
       break;
     case Tag::kDrainAck:
       handle_drain_ack(msg.from, msg.as<DrainAckPayload>());
@@ -99,27 +95,15 @@ void SchedulerActor::on_message(const Message& msg) {
   }
 }
 
-// ---------------------------------------------------------------- expansion
+// ------------------------------------------------- expansion (policy side)
 
 void SchedulerActor::handle_memory_full(ActorId from,
                                         const MemoryFullPayload& payload) {
-  EHJA_CHECK_MSG(config_->algorithm != Algorithm::kOutOfCore,
-                 "out-of-core nodes must spill, not expand");
-  trace(TraceKind::kMemoryFull, from,
-        static_cast<std::int64_t>(payload.footprint_bytes));
   EHJA_CHECK_MSG(phase_ == Phase::kBuild || phase_ == Phase::kBuildDrain,
                  "memory full outside the build phase");
   EHJA_DEBUG(name(), "memory full from join ", from, " (",
              payload.footprint_bytes, " > ", payload.budget_bytes, ")");
-  if (pool_exhausted_) {
-    send_switch_to_spill(from);
-    return;
-  }
-  if (std::find(full_queue_.begin(), full_queue_.end(), from) ==
-      full_queue_.end()) {
-    full_queue_.push_back(from);
-  }
-  try_start_expansion();
+  policy_->on_memory_full(from, payload);
   // The request may have been resolved without starting an op (pool
   // exhausted -> spill switch, or a stale requester dropped).  If sources
   // finished in the meantime, the build drain must be (re)started here --
@@ -127,228 +111,38 @@ void SchedulerActor::handle_memory_full(ActorId from,
   maybe_start_build_drain();
 }
 
-void SchedulerActor::try_start_expansion() {
-  if (op_.has_value() || full_queue_.empty()) return;
-  if (phase_ != Phase::kBuild && phase_ != Phase::kBuildDrain) return;
+void SchedulerActor::handle_op_complete(const OpCompletePayload& done) {
+  policy_->on_op_complete(done);
+  maybe_start_build_drain();
+}
+
+// --- ExpansionEnv -------------------------------------------------------
+
+ActorId SchedulerActor::spawn_join(NodeId node) {
+  const ActorId fresh = spawn_join_(node);
+  joins_.push_back(fresh);
+  return fresh;
+}
+
+void SchedulerActor::send_to(ActorId to, Message msg) {
+  send(to, std::move(msg));
+}
+
+bool SchedulerActor::expansion_starting() {
+  if (phase_ != Phase::kBuild && phase_ != Phase::kBuildDrain) return false;
   // An expansion invalidates an in-progress drain; it will be restarted
   // when the op completes.
   if (phase_ == Phase::kBuildDrain) {
     phase_ = Phase::kBuild;
-    drain_prev_.reset();
+    drain_.abort();
   }
-  const ActorId requester = full_queue_.front();
-  full_queue_.pop_front();
-  if (config_->algorithm == Algorithm::kSplit) {
-    start_split(requester);
-  } else {
-    start_replication(requester);
-  }
+  return true;
 }
 
-void SchedulerActor::send_switch_to_spill(ActorId requester) {
-  metrics_.pool_exhausted = true;
-  trace(TraceKind::kSpillSwitch, requester);
-  spilled_.push_back(requester);
-  send(requester, make_signal(Tag::kSwitchToSpill));
-}
-
-void SchedulerActor::start_split(ActorId requester) {
-  if (config_->split_variant == SplitVariant::kRequesterMidpoint) {
-    start_requester_split(requester);
-    return;
-  }
-  if (!linear_->split_possible()) {
-    // Position resolution exhausted at the split pointer; nothing sane to
-    // split, degrade the requester to local spilling.
-    pool_exhausted_ = true;
-    send_switch_to_spill(requester);
-    try_start_expansion();
-    return;
-  }
-  const auto picked = pool_->acquire();
-  if (!picked.has_value()) {
-    pool_exhausted_ = true;
-    send_switch_to_spill(requester);
-    // Everyone still queued gets the same answer.
-    while (!full_queue_.empty()) {
-      send_switch_to_spill(full_queue_.front());
-      full_queue_.pop_front();
-    }
-    return;
-  }
-  const ActorId fresh = spawn_join_(*picked);
-  joins_.push_back(fresh);
-  ++metrics_.expansions;
-  trace(TraceKind::kExpansion, requester, fresh);
-
-  const LinearHashMap::Split split = linear_->split_next();
-  // Owner of the bucket at the split pointer -- not necessarily the
-  // requester (classic linear hashing).
-  const std::size_t entry_index = map_.index_for(split.kept.lo);
-  EHJA_CHECK(map_.entries()[entry_index].range.lo == split.kept.lo);
-  EHJA_CHECK(map_.entries()[entry_index].range.hi == split.moved.hi);
-  const ActorId owner = map_.entries()[entry_index].active_owner();
-  map_.split_entry(entry_index, split.moved.lo, fresh);
-
-  const std::uint64_t op_id = next_op_id_++;
-  op_ = OpInfo{now(), /*is_split=*/true, requester};
-
-  JoinInitPayload init;
-  init.role = JoinRole::kSplitChild;
-  init.range = split.moved;
-  init.source_count = config_->data_sources;
-  init.op_id = op_id;
-  send(fresh, make_message(Tag::kJoinInit, init, kControlWireBytes));
-
-  SplitRequestPayload req;
-  req.op_id = op_id;
-  req.moved = split.moved;
-  req.target = fresh;
-  send(owner, make_message(Tag::kSplitRequest, req, kControlWireBytes));
-
-  broadcast_map();
-  EHJA_DEBUG(name(), "split op ", op_id, ": bucket of join ", owner,
-             " -> join ", fresh, " at [", split.moved.lo, ",", split.moved.hi,
-             ")");
-}
-
-void SchedulerActor::start_requester_split(ActorId requester) {
-  // ss1 semantics: "partitions the hash table range assigned to the node,
-  // on which memory is full, into two segments and assigns one of the
-  // segments to a new node".
-  std::size_t entry_index = map_.size();
-  for (std::size_t i = 0; i < map_.size(); ++i) {
-    if (map_.entries()[i].active_owner() == requester) {
-      entry_index = i;
-      break;
-    }
-  }
-  if (entry_index == map_.size()) {
-    // The requester lost active ownership while queued (cannot happen with
-    // FIFO channels, but degrade gracefully rather than wedge the build).
-    EHJA_WARN(name(), "dropping stale memory-full from join ", requester);
-    try_start_expansion();
-    return;
-  }
-  const PosRange range = map_.entries()[entry_index].range;
-  if (range.width() < 2) {
-    // Position resolution exhausted: this range cannot be subdivided.
-    pool_exhausted_ = true;
-    send_switch_to_spill(requester);
-    try_start_expansion();
-    return;
-  }
-  const auto picked = pool_->acquire();
-  if (!picked.has_value()) {
-    pool_exhausted_ = true;
-    send_switch_to_spill(requester);
-    while (!full_queue_.empty()) {
-      send_switch_to_spill(full_queue_.front());
-      full_queue_.pop_front();
-    }
-    return;
-  }
-  const ActorId fresh = spawn_join_(*picked);
-  joins_.push_back(fresh);
-  ++metrics_.expansions;
-  trace(TraceKind::kExpansion, requester, fresh);
-
-  const std::uint64_t mid = range.lo + range.width() / 2;
-  map_.split_entry(entry_index, mid, fresh);
-
-  const std::uint64_t op_id = next_op_id_++;
-  op_ = OpInfo{now(), /*is_split=*/true, requester};
-
-  JoinInitPayload init;
-  init.role = JoinRole::kSplitChild;
-  init.range = PosRange{mid, range.hi};
-  init.source_count = config_->data_sources;
-  init.op_id = op_id;
-  send(fresh, make_message(Tag::kJoinInit, init, kControlWireBytes));
-
-  SplitRequestPayload req;
-  req.op_id = op_id;
-  req.moved = PosRange{mid, range.hi};
-  req.target = fresh;
-  send(requester, make_message(Tag::kSplitRequest, req, kControlWireBytes));
-
-  broadcast_map();
-  EHJA_DEBUG(name(), "split op ", op_id, ": join ", requester,
-             " halves its range at ", mid, " -> join ", fresh);
-}
-
-void SchedulerActor::start_replication(ActorId requester) {
-  // The requester must be the active owner of exactly one range.
-  std::size_t entry_index = map_.size();
-  for (std::size_t i = 0; i < map_.size(); ++i) {
-    if (map_.entries()[i].active_owner() == requester) {
-      entry_index = i;
-      break;
-    }
-  }
-  if (entry_index == map_.size()) {
-    // Stale request from a node that has since been frozen/replaced
-    // (unreachable with FIFO channels; degrade gracefully regardless).
-    EHJA_WARN(name(), "dropping stale memory-full from join ", requester);
-    try_start_expansion();
-    return;
-  }
-
-  const auto picked = pool_->acquire();
-  if (!picked.has_value()) {
-    pool_exhausted_ = true;
-    send_switch_to_spill(requester);
-    while (!full_queue_.empty()) {
-      send_switch_to_spill(full_queue_.front());
-      full_queue_.pop_front();
-    }
-    return;
-  }
-  const ActorId fresh = spawn_join_(*picked);
-  joins_.push_back(fresh);
-  ++metrics_.expansions;
-  trace(TraceKind::kExpansion, requester, fresh);
-  const PosRange range = map_.entries()[entry_index].range;
-  map_.add_replica(entry_index, fresh);
-
-  const std::uint64_t op_id = next_op_id_++;
-  op_ = OpInfo{now(), /*is_split=*/false, requester};
-
-  JoinInitPayload init;
-  init.role = JoinRole::kReplica;
-  init.range = range;
-  init.source_count = config_->data_sources;
-  init.op_id = op_id;
-  send(fresh, make_message(Tag::kJoinInit, init, kControlWireBytes));
-
-  HandoffStartPayload handoff;
-  handoff.op_id = op_id;
-  handoff.target = fresh;
-  send(requester, make_message(Tag::kHandoffStart, handoff, kControlWireBytes));
-
-  broadcast_map();
-  EHJA_DEBUG(name(), "replication op ", op_id, ": join ", requester,
-             " frozen, replica join ", fresh, " for [", range.lo, ",",
-             range.hi, ")");
-}
-
-void SchedulerActor::handle_op_complete(const OpCompletePayload& done) {
-  EHJA_CHECK(op_.has_value());
-  const double duration = now() - op_->started;
-  if (op_->is_split) {
-    metrics_.split_time += duration;
-    trace(TraceKind::kSplitOp, op_->requester,
-          static_cast<std::int64_t>(done.tuples_received));
-  } else {
-    metrics_.expand_time += duration;
-    trace(TraceKind::kHandoffOp, op_->requester,
-          static_cast<std::int64_t>(done.tuples_received));
-  }
-  send(op_->requester, make_signal(Tag::kRelief));
-  op_.reset();
-  (void)done;
-  try_start_expansion();
-  maybe_start_build_drain();
+std::uint64_t SchedulerActor::observed_build_tuples() const {
+  std::uint64_t total = 0;
+  for (const auto& [source, tuples] : source_progress_) total += tuples;
+  return total;
 }
 
 void SchedulerActor::broadcast_map() {
@@ -363,11 +157,13 @@ void SchedulerActor::broadcast_map() {
 
 // ------------------------------------------------------------ phase change
 
-void SchedulerActor::handle_source_done(const SourceDonePayload& done) {
+void SchedulerActor::handle_source_done(ActorId from,
+                                        const SourceDonePayload& done) {
   if (done.rel == config_->build_rel.tag) {
     ++sources_done_build_;
     source_chunks_build_ += done.chunks_sent;
     source_tuples_build_ += done.tuples_sent;
+    source_progress_[from] = done.tuples_sent;
     maybe_start_build_drain();
   } else {
     ++sources_done_probe_;
@@ -376,10 +172,16 @@ void SchedulerActor::handle_source_done(const SourceDonePayload& done) {
     if (sources_done_probe_ == config_->data_sources) {
       EHJA_CHECK(phase_ == Phase::kProbe);
       phase_ = Phase::kProbeDrain;
-      drain_prev_.reset();
+      drain_.arm();
       start_drain_round();
     }
   }
+}
+
+void SchedulerActor::handle_source_progress(
+    ActorId from, const SourceProgressPayload& progress) {
+  if (progress.rel != config_->build_rel.tag) return;
+  source_progress_[from] = progress.tuples_sent;
 }
 
 std::uint64_t SchedulerActor::expected_source_chunks() const {
@@ -391,21 +193,16 @@ std::uint64_t SchedulerActor::expected_source_chunks() const {
 void SchedulerActor::maybe_start_build_drain() {
   if (phase_ != Phase::kBuild) return;
   if (sources_done_build_ != config_->data_sources) return;
-  if (op_.has_value() || !full_queue_.empty()) return;
+  if (!policy_->idle()) return;
   phase_ = Phase::kBuildDrain;
-  drain_prev_.reset();
+  drain_.arm();
   start_drain_round();
 }
 
 void SchedulerActor::start_drain_round() {
-  ++drain_epoch_;
-  trace(TraceKind::kDrainRound, static_cast<std::int64_t>(drain_epoch_),
-        static_cast<std::int64_t>(drain_prev_ ? drain_prev_->first : 0));
-  drain_acks_ = 0;
-  drain_received_ = 0;
-  drain_forwarded_ = 0;
-  DrainProbePayload probe;
-  probe.epoch = drain_epoch_;
+  const DrainProbePayload probe = drain_.begin_round();
+  trace_event(TraceKind::kDrainRound, static_cast<std::int64_t>(probe.epoch),
+              static_cast<std::int64_t>(drain_.prev_received()));
   for (ActorId join : joins_) {
     send(join, make_message(Tag::kDrainProbe, probe, kControlWireBytes));
   }
@@ -413,40 +210,35 @@ void SchedulerActor::start_drain_round() {
 
 void SchedulerActor::handle_drain_ack(ActorId /*from*/,
                                       const DrainAckPayload& ack) {
-  if (ack.epoch != drain_epoch_) return;  // stale round
   if (phase_ != Phase::kBuildDrain && phase_ != Phase::kReshuffleDrain &&
       phase_ != Phase::kProbeDrain) {
     return;  // round aborted by an expansion
   }
-  ++drain_acks_;
-  drain_received_ += ack.data_chunks_received;
-  drain_forwarded_ += ack.data_chunks_forwarded;
-  if (drain_acks_ < joins_.size()) return;
-
-  const auto totals = std::make_pair(drain_received_, drain_forwarded_);
-  const bool balanced =
-      drain_received_ == expected_source_chunks() + drain_forwarded_;
-  const bool stable = drain_prev_.has_value() && *drain_prev_ == totals;
-  drain_prev_ = totals;
-  if (balanced && stable) {
-    on_drained();
-  } else {
-    start_drain_round();
+  switch (drain_.on_ack(ack, joins_.size(), expected_source_chunks())) {
+    case DrainProtocol::Outcome::kStale:
+    case DrainProtocol::Outcome::kPending:
+      break;
+    case DrainProtocol::Outcome::kRepoll:
+      start_drain_round();
+      break;
+    case DrainProtocol::Outcome::kDrained:
+      on_drained();
+      break;
   }
 }
 
 void SchedulerActor::on_drained() {
-  drain_prev_.reset();
+  drain_.arm();
   switch (phase_) {
     case Phase::kBuildDrain:
       build_complete();
       break;
     case Phase::kReshuffleDrain:
-      metrics_.t_reshuffle_end = now();
+      metrics_.t_reshuffle_end = Actor::now();
       start_probe();
       break;
     case Phase::kProbeDrain:
-      metrics_.t_probe_end = now();
+      metrics_.t_probe_end = Actor::now();
       phase_ = Phase::kReporting;
       reports_pending_ = static_cast<std::uint32_t>(joins_.size());
       for (ActorId join : joins_) {
@@ -459,15 +251,11 @@ void SchedulerActor::on_drained() {
 }
 
 void SchedulerActor::build_complete() {
-  metrics_.t_build_end = now();
-  trace(TraceKind::kPhase, 0, 0, "build_complete");
-  EHJA_INFO(name(), "build complete at t=", now(), "s with ", joins_.size(),
-            " join nodes");
-  bool any_replicas = false;
-  for (const auto& entry : map_.entries()) {
-    any_replicas |= entry.owners.size() > 1;
-  }
-  if (config_->algorithm == Algorithm::kHybrid && any_replicas) {
+  metrics_.t_build_end = Actor::now();
+  trace_event(TraceKind::kPhase, 0, 0, "build_complete");
+  EHJA_INFO(name(), "build complete at t=", Actor::now(), "s with ",
+            joins_.size(), " join nodes");
+  if (policy_->wants_reshuffle()) {
     start_reshuffle();
   } else {
     metrics_.t_reshuffle_end = metrics_.t_build_end;
@@ -479,9 +267,10 @@ void SchedulerActor::build_complete() {
 
 void SchedulerActor::start_reshuffle() {
   phase_ = Phase::kReshuffle;
-  trace(TraceKind::kPhase, 0, 0, "reshuffle");
+  trace_event(TraceKind::kPhase, 0, 0, "reshuffle");
   reshuffle_sets_.clear();
   reshuffle_pending_replies_ = 0;
+  const std::vector<ActorId>& spilled = policy_->spilled();
   for (std::size_t i = 0; i < map_.size(); ++i) {
     const auto& entry = map_.entries()[i];
     if (entry.owners.size() < 2) continue;
@@ -489,9 +278,9 @@ void SchedulerActor::start_reshuffle() {
     // disk; its set cannot be reshuffled and keeps replication semantics
     // (probe broadcast) instead.
     const bool any_spilled = std::any_of(
-        entry.owners.begin(), entry.owners.end(), [this](ActorId owner) {
-          return std::find(spilled_.begin(), spilled_.end(), owner) !=
-                 spilled_.end();
+        entry.owners.begin(), entry.owners.end(), [&spilled](ActorId owner) {
+          return std::find(spilled.begin(), spilled.end(), owner) !=
+                 spilled.end();
         });
     if (any_spilled) continue;
     ReshuffleSet set;
@@ -567,7 +356,7 @@ void SchedulerActor::handle_reshuffle_done() {
   EHJA_CHECK(reshuffle_pending_done_ > 0);
   if (--reshuffle_pending_done_ > 0) return;
   phase_ = Phase::kReshuffleDrain;
-  drain_prev_.reset();
+  drain_.arm();
   start_drain_round();
 }
 
@@ -575,14 +364,14 @@ void SchedulerActor::handle_reshuffle_done() {
 
 void SchedulerActor::start_probe() {
   phase_ = Phase::kProbe;
-  trace(TraceKind::kPhase, 0, 0, "probe");
+  trace_event(TraceKind::kPhase, 0, 0, "probe");
   for (ActorId source : sources_) {
     StartProbePayload start;
     start.map = map_;
     const std::size_t wire = start.map.wire_bytes();
     send(source, make_message(Tag::kStartProbe, std::move(start), wire));
   }
-  EHJA_INFO(name(), "probe phase started at t=", now(), "s (",
+  EHJA_INFO(name(), "probe phase started at t=", Actor::now(), "s (",
             map_.owner_slots(), " owner slots over ", map_.size(),
             " ranges)");
 }
@@ -600,7 +389,7 @@ void SchedulerActor::handle_node_report(const NodeReportPayload& report) {
   EHJA_CHECK(reports_pending_ > 0);
   if (--reports_pending_ > 0) return;
 
-  metrics_.t_complete = now();
+  metrics_.t_complete = Actor::now();
   metrics_.final_join_nodes = static_cast<std::uint32_t>(joins_.size());
   metrics_.source_build_chunks = source_chunks_build_;
   metrics_.source_probe_chunks = source_chunks_probe_;
@@ -610,7 +399,7 @@ void SchedulerActor::handle_node_report(const NodeReportPayload& report) {
   // Probe tuples may be duplicated (replication broadcast), never lost.
   EHJA_CHECK(metrics_.probe_tuples_total >= source_tuples_probe_);
   phase_ = Phase::kDone;
-  trace(TraceKind::kPhase, 0, 0, "done");
+  trace_event(TraceKind::kPhase, 0, 0, "done");
   EHJA_INFO(name(), "done: ", metrics_.summary());
   rt().request_stop();
 }

@@ -1,34 +1,27 @@
 // Scheduler actor (paper ss4.1.1).
 //
-// Coordinates the whole join: holds the authoritative partition map and the
-// lists of working / potential / full join nodes, serializes expansion
-// operations (the split algorithm's *barrier split pointer* generalizes to
-// "at most one expansion op in flight"), detects phase completion, runs the
-// hybrid reshuffle, and aggregates the final per-node reports into
-// RunMetrics.
+// Coordinates the whole join as a *phase machine*: it holds the
+// authoritative partition map, detects phase completion, runs the hybrid
+// reshuffle, and aggregates the final per-node reports into RunMetrics.
+// Everything algorithm-specific -- what to do on a kMemoryFull, node
+// acquisition and spill degradation, partition map mutation -- lives in
+// the ExpansionPolicy the scheduler constructs from the configured
+// algorithm (core/expansion_policy.hpp); phase-drain detection lives in
+// DrainProtocol (core/drain.hpp).  The scheduler wires messages to those
+// two collaborators plus the reshuffle planner and otherwise only moves
+// between phases:
 //
-// Phase machine:
-//
-//   kBuild --(all sources done, no ops pending)--> kBuildDrain
-//   kBuildDrain --(counters stable, see below)--> [hybrid with replicas?]
+//   kBuild --(all sources done, policy idle)--> kBuildDrain
+//   kBuildDrain --(drain stable)--> [policy wants reshuffle?]
 //        yes: kReshuffle --> kReshuffleDrain --> kProbe
 //        no:  kProbe
 //   kProbe --(all sources done)--> kProbeDrain --> kReporting --> kDone
 //
-// Drain protocol.  Chunks can be in flight or be re-forwarded between nodes
-// (stale-source routing), so "sources are done" does not mean "nodes have
-// everything".  The scheduler polls every join node for its cumulative
-// (data chunks received, data chunks forwarded) counters and declares a
-// phase drained when
-//     received == chunks sent by sources + forwarded by nodes
-// and the totals are identical across two consecutive polls (Mattern-style
-// counter termination detection -- a single matching poll can be fooled by
-// a chunk counted at the receiver but not yet at its sender's poll).  An
-// expansion op starting mid-drain aborts the drain; op completion retries.
+// An expansion op starting mid-build-drain aborts the drain (the policy
+// asks via ExpansionEnv::expansion_starting()); op completion retries.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -37,15 +30,16 @@
 
 #include "cluster/resource_pool.hpp"
 #include "core/config.hpp"
+#include "core/drain.hpp"
+#include "core/expansion_policy.hpp"
 #include "core/messages.hpp"
 #include "core/metrics.hpp"
-#include "hash/hash_family.hpp"
 #include "hash/partition_map.hpp"
 #include "runtime/actor.hpp"
 
 namespace ehja {
 
-class SchedulerActor final : public Actor {
+class SchedulerActor final : public Actor, private ExpansionEnv {
  public:
   /// `spawn_join` instantiates a fresh join process on a given node and
   /// returns its actor id (the driver wires it to the runtime).
@@ -53,7 +47,8 @@ class SchedulerActor final : public Actor {
                  std::function<ActorId(NodeId)> spawn_join);
 
   /// Driver wiring before run(): source actors, the initial join actors
-  /// (already spawned), and the pool of potential join nodes.
+  /// (already spawned), and the pool of potential join nodes.  Constructs
+  /// the expansion policy for the configured algorithm.
   void wire(std::vector<ActorId> sources, std::vector<ActorId> initial_joins,
             ResourcePool pool);
 
@@ -77,19 +72,24 @@ class SchedulerActor final : public Actor {
     kDone,
   };
 
-  struct OpInfo {
-    SimTime started = 0.0;
-    bool is_split = false;
-    ActorId requester = kInvalidActor;
-  };
+  // --- ExpansionEnv (the policy's view of the scheduler) ---
+  PartitionMap& map() override { return map_; }
+  RunMetrics& metrics() override { return metrics_; }
+  ActorId spawn_join(NodeId node) override;
+  void send_to(ActorId to, Message msg) override;
+  void broadcast_map() override;
+  bool expansion_starting() override;
+  std::uint64_t observed_build_tuples() const override;
+  SimTime now() const override { return Actor::now(); }
+  void trace(TraceKind kind, std::int64_t a, std::int64_t b) override {
+    trace_event(kind, a, b);
+  }
 
   void handle_memory_full(ActorId from, const MemoryFullPayload& payload);
-  void try_start_expansion();
-  void start_split(ActorId requester);
-  void start_requester_split(ActorId requester);
-  void start_replication(ActorId requester);
   void handle_op_complete(const OpCompletePayload& done);
-  void handle_source_done(const SourceDonePayload& done);
+  void handle_source_done(ActorId from, const SourceDonePayload& done);
+  void handle_source_progress(ActorId from,
+                              const SourceProgressPayload& progress);
   void maybe_start_build_drain();
   void start_drain_round();
   void handle_drain_ack(ActorId from, const DrainAckPayload& ack);
@@ -101,13 +101,11 @@ class SchedulerActor final : public Actor {
   void handle_reshuffle_done();
   void start_probe();
   void handle_node_report(const NodeReportPayload& report);
-  void broadcast_map();
-  void send_switch_to_spill(ActorId requester);
   std::uint64_t expected_source_chunks() const;
-  void trace(TraceKind kind, std::int64_t a = 0, std::int64_t b = 0,
-             std::string detail = {}) {
+  void trace_event(TraceKind kind, std::int64_t a = 0, std::int64_t b = 0,
+                   std::string detail = {}) {
     if (config_->trace != nullptr) {
-      config_->trace->emit(now(), kind, a, b, std::move(detail));
+      config_->trace->emit(Actor::now(), kind, a, b, std::move(detail));
     }
   }
 
@@ -116,21 +114,12 @@ class SchedulerActor final : public Actor {
 
   std::vector<ActorId> sources_;
   std::vector<ActorId> joins_;  // every join actor ever created
-  std::optional<ResourcePool> pool_;
-  bool pool_exhausted_ = false;
-  /// Join actors told to spill locally; they cannot take part in a
-  /// reshuffle (their partitions live on disk).
-  std::vector<ActorId> spilled_;
 
   Phase phase_ = Phase::kBuild;
   PartitionMap map_;
   std::uint64_t map_version_ = 0;
-  std::optional<LinearHashMap> linear_;  // split algorithm only
-
-  // expansion serialization (the barrier)
-  std::deque<ActorId> full_queue_;
-  std::optional<OpInfo> op_;  // at most one in flight
-  std::uint64_t next_op_id_ = 1;
+  std::unique_ptr<ExpansionPolicy> policy_;  // set by wire()
+  DrainProtocol drain_;
 
   // source bookkeeping
   std::uint32_t sources_done_build_ = 0;
@@ -139,13 +128,9 @@ class SchedulerActor final : public Actor {
   std::uint64_t source_chunks_probe_ = 0;
   std::uint64_t source_tuples_build_ = 0;
   std::uint64_t source_tuples_probe_ = 0;
-
-  // drain protocol
-  std::uint64_t drain_epoch_ = 0;
-  std::uint32_t drain_acks_ = 0;
-  std::uint64_t drain_received_ = 0;
-  std::uint64_t drain_forwarded_ = 0;
-  std::optional<std::pair<std::uint64_t, std::uint64_t>> drain_prev_;
+  /// Cumulative build tuples per source, from kSourceProgress reports
+  /// (kAdaptive only; the cost comparison's observed-rate input).
+  std::map<ActorId, std::uint64_t> source_progress_;
 
   // hybrid reshuffle
   struct ReshuffleSet {

@@ -12,10 +12,7 @@ ThreadRuntime::ThreadRuntime(ClusterSpec spec)
 
 ThreadRuntime::~ThreadRuntime() {
   request_stop();
-  std::scoped_lock lock(registry_mutex_);
-  for (auto& cell : cells_) {
-    if (cell->thread.joinable()) cell->thread.join();
-  }
+  join_all();
 }
 
 ActorId ThreadRuntime::spawn(NodeId node, std::unique_ptr<Actor> actor) {
@@ -94,18 +91,30 @@ void ThreadRuntime::run() {
   }
   std::unique_lock lock(stop_mutex_);
   stop_cv_.wait(lock, [this] { return stop_.load(std::memory_order_acquire); });
-  // Threads observe stop_ via their mailbox condition variables.
-  {
-    std::scoped_lock reg(registry_mutex_);
-    for (auto& cell : cells_) {
-      {
-        std::scoped_lock m(cell->mutex);
-      }
-      cell->cv.notify_all();
+  join_all();
+}
+
+void ThreadRuntime::join_all() {
+  // Join WITHOUT holding registry_mutex_ across the join: the actor thread
+  // that called request_stop() still needs that mutex to finish its own
+  // notification sweep, so joining it under the lock deadlocks.  Walking by
+  // index (re-reading cells_.size() each step) also picks up cells spawned
+  // while earlier threads were being joined; once every thread is joined no
+  // actor is left to spawn more.
+  std::size_t next = 0;
+  while (true) {
+    Cell* cell = nullptr;
+    {
+      std::scoped_lock reg(registry_mutex_);
+      if (next == cells_.size()) break;
+      cell = cells_[next].get();
     }
-    for (auto& cell : cells_) {
-      if (cell->thread.joinable()) cell->thread.join();
+    {
+      std::scoped_lock m(cell->mutex);
     }
+    cell->cv.notify_all();
+    if (cell->thread.joinable()) cell->thread.join();
+    ++next;
   }
 }
 

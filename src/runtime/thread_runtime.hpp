@@ -54,6 +54,7 @@ class ThreadRuntime final : public Runtime {
 
   void actor_main(Cell& cell);
   void start_thread(Cell& cell);
+  void join_all();
 
   ClusterSpec spec_;
   mutable std::mutex registry_mutex_;

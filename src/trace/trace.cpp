@@ -13,6 +13,7 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kSpillSwitch: return "spill_switch";
     case TraceKind::kMemSample: return "mem_sample";
     case TraceKind::kDrainRound: return "drain_round";
+    case TraceKind::kAdaptiveChoice: return "adaptive_choice";
   }
   return "?";
 }

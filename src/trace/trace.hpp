@@ -30,6 +30,7 @@ enum class TraceKind : std::uint8_t {
   kSpillSwitch, // a = actor
   kMemSample,   // a = actor, b = footprint bytes
   kDrainRound,  // a = epoch, b = received total
+  kAdaptiveChoice,  // a = actor, b = 1 split / 0 replicate
 };
 
 const char* trace_kind_name(TraceKind kind);

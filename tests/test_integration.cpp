@@ -88,13 +88,15 @@ TEST_P(AlgorithmSuite, ThreadRuntimeAgreesWithSimRuntime) {
 INSTANTIATE_TEST_SUITE_P(
     AllAlgorithms, AlgorithmSuite,
     ::testing::Values(Algorithm::kSplit, Algorithm::kReplicate,
-                      Algorithm::kHybrid, Algorithm::kOutOfCore),
+                      Algorithm::kHybrid, Algorithm::kOutOfCore,
+                      Algorithm::kAdaptive),
     [](const ::testing::TestParamInfo<Algorithm>& info) {
       switch (info.param) {
         case Algorithm::kSplit: return "Split";
         case Algorithm::kReplicate: return "Replicated";
         case Algorithm::kHybrid: return "Hybrid";
         case Algorithm::kOutOfCore: return "OutOfCore";
+        case Algorithm::kAdaptive: return "Adaptive";
       }
       return "Unknown";
     });
@@ -207,6 +209,54 @@ TEST(IntegrationTest, BalancedInitialPartitionWorksForAllAlgorithms) {
     const RunResult run = run_ehja(config);
     EXPECT_EQ(run.join(), reference_join(config)) << algorithm_name(algorithm);
   }
+}
+
+// ------------------------------------------------- adaptive (kAdaptive)
+
+TEST(AdaptiveTest, AgreesWithOtherAlgorithmsOnSkewedWorkload) {
+  // Skewed, duplicate-key workload: kAdaptive must produce exactly the
+  // oracle's (and hence every other EHJA's) matches and checksum no matter
+  // which expansion strategy it picks at each overflow.
+  const auto config = small_config(Algorithm::kAdaptive,
+                                   DistributionSpec::Zipf(1.1, 2000));
+  const JoinResult expected = reference_join(config);
+  ASSERT_GT(expected.matches, 0u);
+  const RunResult adaptive = run_ehja(config);
+  EXPECT_EQ(adaptive.join(), expected);
+
+  auto hybrid_config = config;
+  hybrid_config.algorithm = Algorithm::kHybrid;
+  const RunResult hybrid = run_ehja(hybrid_config);
+  EXPECT_EQ(adaptive.join(), hybrid.join());
+
+  // Every expansion was an explicit split-vs-replicate decision.
+  EXPECT_GT(adaptive.metrics.expansions, 0u);
+  EXPECT_EQ(adaptive.metrics.adaptive_splits + adaptive.metrics.adaptive_replicas,
+            adaptive.metrics.expansions);
+}
+
+TEST(AdaptiveTest, ExercisesBothDecisionBranches) {
+  // Gaussian build skew with a small probe side: the hot node's first
+  // overflows carry a large share of the observed build (split wins), the
+  // later ones a small share against a cheap broadcast (replicate wins).
+  EhjaConfig config;
+  config.algorithm = Algorithm::kAdaptive;
+  config.build_rel.tuple_count = 200'000;
+  config.probe_rel.tuple_count = 20'000;
+  config.build_rel.dist = DistributionSpec::Gaussian(0.25, 0.08);
+  config.probe_rel.dist = DistributionSpec::Gaussian(0.25, 0.08);
+  config.node_hash_memory_bytes =
+      static_cast<std::uint64_t>(80.0 * kMiB / 50.0);
+  config.chunk_tuples = 2'000;
+  config.generation_slice_tuples = 2'000;
+
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_GT(run.metrics.adaptive_splits, 0u);
+  EXPECT_GT(run.metrics.adaptive_replicas, 0u);
+  EXPECT_EQ(run.metrics.adaptive_splits + run.metrics.adaptive_replicas,
+            run.metrics.expansions);
+  EXPECT_GT(run.metrics.final_join_nodes, run.metrics.initial_join_nodes);
 }
 
 TEST(IntegrationTest, AsymmetricRelationSizes) {

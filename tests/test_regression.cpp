@@ -1,0 +1,134 @@
+// Behaviour-preservation pins.
+//
+// The expansion-policy extraction (core/expansion_policy) is supposed to be
+// a pure refactor of the scheduler monolith: not just "same join result"
+// but the same *event history* -- the same expansions at the same virtual
+// times, hence the same recruited-node counts and the same number of extra
+// build chunks caused by stale partition maps.  These tests pin the values
+// the pre-refactor scheduler produced so that any accidental behaviour
+// change in the policy layer (queue ordering, drain gating, map mutation
+// order) shows up as a diff instead of silently shifting the simulated
+// results the paper figures are built from.
+//
+// If a deliberate protocol change invalidates a pin, re-derive the values
+// with tools/ehja_run and update them alongside the change.
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "util/units.hpp"
+
+namespace ehja {
+namespace {
+
+struct Pin {
+  std::uint64_t matches;
+  std::uint64_t checksum;
+  std::uint32_t expansions;
+  std::uint32_t final_nodes;
+  std::uint64_t extra_chunks;
+};
+
+void expect_pin(const EhjaConfig& config, const Pin& pin) {
+  const RunResult run = run_ehja(config, RuntimeKind::kSim);
+  EXPECT_EQ(run.join().matches, pin.matches);
+  EXPECT_EQ(run.join().checksum, pin.checksum);
+  EXPECT_EQ(run.metrics.expansions, pin.expansions);
+  EXPECT_EQ(run.metrics.final_join_nodes, pin.final_nodes);
+  EXPECT_EQ(run.metrics.extra_build_chunks, pin.extra_chunks);
+}
+
+/// The paper's base shape scaled by 1/50 (200k x 100 B tuples against a
+/// 1/50 memory budget): overflows exactly like the 10 M run but finishes
+/// in well under a second.
+EhjaConfig scaled_config(Algorithm algorithm) {
+  EhjaConfig config;
+  config.algorithm = algorithm;
+  config.build_rel.tuple_count = 200'000;
+  config.probe_rel.tuple_count = 200'000;
+  config.node_hash_memory_bytes =
+      static_cast<std::uint64_t>(80.0 * kMiB / 50.0);
+  config.chunk_tuples = 2'000;
+  config.generation_slice_tuples = 2'000;
+  return config;
+}
+
+/// The scaled shape on a 2^16-value key domain: duplicate keys, so the
+/// join produces matches and the checksum pins actual output tuples.
+EhjaConfig small_domain_config(Algorithm algorithm) {
+  EhjaConfig config = scaled_config(algorithm);
+  config.build_rel.dist = DistributionSpec::SmallDomain(1u << 16);
+  config.probe_rel.dist = DistributionSpec::SmallDomain(1u << 16);
+  return config;
+}
+
+// --------------------------------------- scaled uniform (disjoint keys)
+
+TEST(SeedPinScaled, Split) {
+  expect_pin(scaled_config(Algorithm::kSplit), {0, 0, 12, 16, 107});
+}
+
+TEST(SeedPinScaled, Replicated) {
+  expect_pin(scaled_config(Algorithm::kReplicate), {0, 0, 9, 13, 51});
+}
+
+TEST(SeedPinScaled, Hybrid) {
+  expect_pin(scaled_config(Algorithm::kHybrid), {0, 0, 9, 13, 134});
+}
+
+TEST(SeedPinScaled, OutOfCore) {
+  expect_pin(scaled_config(Algorithm::kOutOfCore), {0, 0, 0, 4, 0});
+}
+
+// ------------------------------- default config (the paper's 10 M base)
+
+TEST(SeedPinDefault, Split) {
+  EhjaConfig config;
+  config.algorithm = Algorithm::kSplit;
+  expect_pin(config, {0, 0, 12, 16, 550});
+}
+
+TEST(SeedPinDefault, Replicated) {
+  EhjaConfig config;
+  config.algorithm = Algorithm::kReplicate;
+  expect_pin(config, {0, 0, 12, 16, 117});
+}
+
+TEST(SeedPinDefault, Hybrid) {
+  EhjaConfig config;
+  config.algorithm = Algorithm::kHybrid;
+  expect_pin(config, {0, 0, 12, 16, 895});
+}
+
+TEST(SeedPinDefault, OutOfCore) {
+  EhjaConfig config;
+  config.algorithm = Algorithm::kOutOfCore;
+  expect_pin(config, {0, 0, 0, 4, 0});
+}
+
+// -------------------------- small key domain (match-producing checksum)
+
+constexpr std::uint64_t kSmallDomainMatches = 611'188;
+constexpr std::uint64_t kSmallDomainChecksum = 0xb5ec07f51d05e4eaull;
+
+TEST(SeedPinSmallDomain, Split) {
+  expect_pin(small_domain_config(Algorithm::kSplit),
+             {kSmallDomainMatches, kSmallDomainChecksum, 11, 15, 96});
+}
+
+TEST(SeedPinSmallDomain, Replicated) {
+  expect_pin(small_domain_config(Algorithm::kReplicate),
+             {kSmallDomainMatches, kSmallDomainChecksum, 10, 14, 47});
+}
+
+TEST(SeedPinSmallDomain, Hybrid) {
+  expect_pin(small_domain_config(Algorithm::kHybrid),
+             {kSmallDomainMatches, kSmallDomainChecksum, 10, 14, 138});
+}
+
+TEST(SeedPinSmallDomain, OutOfCore) {
+  expect_pin(small_domain_config(Algorithm::kOutOfCore),
+             {kSmallDomainMatches, kSmallDomainChecksum, 0, 4, 0});
+}
+
+}  // namespace
+}  // namespace ehja

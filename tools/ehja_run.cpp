@@ -1,8 +1,10 @@
 // ehja_run -- command-line front end for the EHJA library.
 //
 //   ehja_run [options]
-//     --algorithm=split|replicated|hybrid|ooc|auto   (default hybrid;
-//                  auto asks the planner, paper ss6 decision rule)
+//     --algorithm=split|replicated|hybrid|ooc|adaptive|auto
+//                  (default hybrid; auto asks the planner up front, paper
+//                  ss6 decision rule; adaptive decides split-vs-replicate
+//                  per overflow from the cost model)
 //     --initial-nodes=N     initial working join nodes        (default 4)
 //     --pool=N              join-node pool size               (default 24)
 //     --sources=N           data source processes             (default 4)
@@ -97,6 +99,7 @@ int main(int argc, char** argv) {
       else if (value == "replicated") config.algorithm = Algorithm::kReplicate;
       else if (value == "hybrid") config.algorithm = Algorithm::kHybrid;
       else if (value == "ooc") config.algorithm = Algorithm::kOutOfCore;
+      else if (value == "adaptive") config.algorithm = Algorithm::kAdaptive;
       else if (value == "auto") auto_algorithm = true;
       else usage_error("unknown --algorithm " + value);
     } else if (match_flag(argv[i], "--initial-nodes", &value)) {
@@ -177,6 +180,10 @@ int main(int argc, char** argv) {
               m.initial_join_nodes, m.final_join_nodes, m.expansions,
               m.pool_exhausted ? " [pool exhausted]" : "", m.split_time,
               m.expand_time);
+  if (config.algorithm == Algorithm::kAdaptive) {
+    std::printf("adaptive choices: %u splits, %u replicas\n",
+                m.adaptive_splits, m.adaptive_replicas);
+  }
   std::printf("-- communication --\n");
   std::printf("source chunks: %llu build, %llu probe | node-to-node: %llu\n",
               static_cast<unsigned long long>(m.source_build_chunks),
