@@ -1,0 +1,98 @@
+// Recovery-cost comparison: what does one node failure cost each expansion
+// strategy?
+//
+// The paper's algorithms differ in how much state a dead node takes with it
+// (a split range lives on exactly one node; a replicated range has live
+// temporal shards elsewhere) and in how much of the run remains to amortize
+// the rebuild.  This bench injects one fail-stop kill per scenario --
+// early build, late build, mid-probe -- into each strategy and reports the
+// slowdown against that strategy's own fault-free (detector-armed) run,
+// plus the recovery protocol's internals: detection latency, recovery wall
+// time, and replayed tuple volume (EXPERIMENTS.md "Recovery cost").
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ehja;
+using namespace ehja::bench;
+
+struct Scenario {
+  const char* label;
+  bool probe_phase;       // kill at the probe midpoint instead of the build
+  double build_fraction;  // build kills: fraction of the victim's chunks
+};
+
+constexpr Scenario kScenarios[] = {
+    {"early build (25% received)", false, 0.25},
+    {"late build (75% received)", false, 0.75},
+    {"mid-probe", true, 0.0},
+};
+
+void run_algorithm(Algorithm algorithm, const EhjaConfig& base) {
+  EhjaConfig config = base;
+  config.algorithm = algorithm;
+
+  // Fault-free reference with the detector armed, so heartbeat overhead is
+  // in both columns and the delta is purely the failure's cost.
+  EhjaConfig armed = config;
+  armed.ft.force_enabled = true;
+  const RunResult clean = run(armed);
+
+  std::printf("  %-12s fault-free %8.2fs\n", algorithm_name(algorithm),
+              clean.metrics.total_time());
+
+  const std::uint64_t victim_chunks = config.build_rel.tuple_count /
+                                      config.chunk_tuples /
+                                      config.initial_join_nodes;
+  for (const Scenario& scenario : kScenarios) {
+    EhjaConfig faulty = config;
+    KillSpec kill;
+    kill.pool_index = 1;
+    if (scenario.probe_phase) {
+      kill.at_time = clean.metrics.t_reshuffle_end +
+                     0.5 * (clean.metrics.t_probe_end -
+                            clean.metrics.t_reshuffle_end);
+    } else {
+      kill.after_chunks = static_cast<std::uint64_t>(
+          static_cast<double>(victim_chunks) * scenario.build_fraction);
+      if (kill.after_chunks == 0) kill.after_chunks = 1;
+    }
+    faulty.faults.kills.push_back(kill);
+    const RunResult result = run(faulty);
+    const RunMetrics& m = result.metrics;
+    std::printf(
+        "     %-27s total=%8.2fs (+%5.1f%%) detect=%6.3fs recover=%7.3fs "
+        "replayed %llu R + %llu S\n",
+        scenario.label, m.total_time(),
+        100.0 * (m.total_time() / clean.metrics.total_time() - 1.0),
+        m.failures_detected > 0
+            ? m.detection_latency_total / m.failures_detected
+            : 0.0,
+        m.recovery_time_total,
+        static_cast<unsigned long long>(m.replayed_build_tuples),
+        static_cast<unsigned long long>(m.replayed_probe_tuples));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = scale_from_args(argc, argv, 0.25);
+  std::printf("== bench_failure_recovery (scale=%.3g) ==\n", scale);
+  std::printf("one fail-stop kill of pool node 1; slowdown vs the same "
+              "strategy's detector-armed fault-free run\n\n");
+
+  EhjaConfig base = paper_config(scale);
+  // The detection timeout must outlast a recovering owner's rebuild burst,
+  // which scales with the workload; scaling it here keeps the detection
+  // share of the figure comparable across --scale values.
+  base.ft.heartbeat_timeout_sec = std::max(1.0, 5.0 * scale);
+  base.ft.heartbeat_interval_sec = base.ft.heartbeat_timeout_sec / 10.0;
+  for (const Algorithm algorithm : kStrategyAlgorithms) {
+    run_algorithm(algorithm, base);
+  }
+  return 0;
+}

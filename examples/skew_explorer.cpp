@@ -17,7 +17,16 @@
 // split, and the model does not anticipate the repeat business -- so
 // expect adaptive to track split there while the per-run rule says
 // replicate (bench_adaptive_strategy has the regimes where it wins).
+//
+// Fault flags (same syntax as ehja_run) apply to every swept run, so the
+// ranking can be re-examined under injected failures:
+//   --kill-node=I@T | I@Kc    kill pool node I at time T / after K chunks
+//   --net-jitter=SEC          uniform extra per-message delivery delay
+//   --net-drop-prob=P         per-message drop-with-redelivery probability
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/driver.hpp"
@@ -25,13 +34,20 @@
 
 namespace {
 
+struct FaultFlags {
+  ehja::FaultPlan faults;
+  double net_jitter_sec = 0.0;
+  double net_drop_prob = 0.0;
+};
+
 struct Outcome {
   ehja::Algorithm algorithm;
   double total = 0.0;
   double max_load_chunks = 0.0;
 };
 
-Outcome run_one(ehja::Algorithm algorithm, const ehja::DistributionSpec& dist) {
+Outcome run_one(ehja::Algorithm algorithm, const ehja::DistributionSpec& dist,
+                const FaultFlags& flags) {
   using namespace ehja;
   EhjaConfig config;
   config.algorithm = algorithm;
@@ -43,6 +59,9 @@ Outcome run_one(ehja::Algorithm algorithm, const ehja::DistributionSpec& dist) {
   config.build_rel.dist = dist;
   config.probe_rel.dist = dist;
   config.node_hash_memory_bytes = 8 * kMiB;
+  config.faults = flags.faults;
+  config.link.fault_jitter_sec = flags.net_jitter_sec;
+  config.link.fault_drop_prob = flags.net_drop_prob;
   const RunResult result = run_ehja(config);
   Outcome outcome;
   outcome.algorithm = algorithm;
@@ -53,10 +72,47 @@ Outcome run_one(ehja::Algorithm algorithm, const ehja::DistributionSpec& dist) {
   return outcome;
 }
 
+bool match_flag(const char* arg, const char* name, std::string* value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+FaultFlags parse_fault_flags(int argc, char** argv) {
+  FaultFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (match_flag(argv[i], "--kill-node", &value)) {
+      const auto at = value.find('@');
+      ehja::KillSpec kill;
+      kill.pool_index =
+          static_cast<std::uint32_t>(std::atoi(value.substr(0, at).c_str()));
+      const std::string trigger =
+          at == std::string::npos ? "" : value.substr(at + 1);
+      if (!trigger.empty() && trigger.back() == 'c') {
+        kill.after_chunks = std::strtoull(trigger.c_str(), nullptr, 10);
+      } else {
+        kill.at_time = std::atof(trigger.c_str());
+      }
+      flags.faults.kills.push_back(kill);
+    } else if (match_flag(argv[i], "--net-jitter", &value)) {
+      flags.net_jitter_sec = std::atof(value.c_str());
+    } else if (match_flag(argv[i], "--net-drop-prob", &value)) {
+      flags.net_drop_prob = std::atof(value.c_str());
+    } else {
+      std::fprintf(stderr, "skew_explorer: unknown option %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ehja;
+  const FaultFlags fault_flags = parse_fault_flags(argc, argv);
   struct Case {
     const char* label;
     DistributionSpec dist;
@@ -76,9 +132,9 @@ int main() {
     std::vector<Outcome> outcomes;
     for (const Algorithm algorithm :
          {Algorithm::kReplicate, Algorithm::kSplit, Algorithm::kHybrid}) {
-      outcomes.push_back(run_one(algorithm, c.dist));
+      outcomes.push_back(run_one(algorithm, c.dist, fault_flags));
     }
-    const Outcome adaptive = run_one(Algorithm::kAdaptive, c.dist);
+    const Outcome adaptive = run_one(Algorithm::kAdaptive, c.dist, fault_flags);
     const Outcome* best = &outcomes[0];
     for (const Outcome& o : outcomes) {
       if (o.total < best->total) best = &o;

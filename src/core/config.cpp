@@ -39,6 +39,25 @@ void EhjaConfig::validate() const {
   EHJA_CHECK(node_hash_memory_bytes >= tuple_footprint(build_rel.schema));
   EHJA_CHECK(reshuffle_bins >= join_pool_nodes);
   EHJA_CHECK(spill_fanout >= 1);
+  for (const KillSpec& kill : faults.kills) {
+    EHJA_CHECK_MSG(kill.pool_index < join_pool_nodes,
+                   "FaultPlan kill targets a node outside the join pool");
+    const bool time_trigger = kill.at_time >= 0.0;
+    const bool chunk_trigger = kill.after_chunks > 0;
+    EHJA_CHECK_MSG(time_trigger != chunk_trigger,
+                   "KillSpec needs exactly one of at_time / after_chunks");
+  }
+  if (recovery_enabled()) {
+    EHJA_CHECK(ft.heartbeat_interval_sec > 0.0);
+    EHJA_CHECK(ft.heartbeat_timeout_sec > ft.heartbeat_interval_sec);
+  }
+}
+
+const KillSpec* EhjaConfig::kill_for_node(NodeId node) const {
+  for (const KillSpec& kill : faults.kills) {
+    if (pool_node(kill.pool_index) == node) return &kill;
+  }
+  return nullptr;
 }
 
 std::string EhjaConfig::to_string() const {
@@ -49,6 +68,13 @@ std::string EhjaConfig::to_string() const {
      << " tuple=" << build_rel.schema.tuple_bytes << "B"
      << " mem=" << node_hash_memory_bytes / kMiB << "MiB"
      << " dist=" << build_rel.dist.to_string();
+  if (recovery_enabled()) {
+    os << " ft=on kills=" << faults.kills.size();
+  }
+  if (link.fault_drop_prob > 0.0 || link.fault_jitter_sec > 0.0) {
+    os << " net-drop=" << link.fault_drop_prob
+       << " net-jitter=" << link.fault_jitter_sec;
+  }
   return os.str();
 }
 
@@ -57,6 +83,9 @@ ClusterSpec make_cluster(const EhjaConfig& config) {
   ClusterSpec spec = make_uniform_cluster(config.total_nodes(),
                                           config.node_hash_memory_bytes);
   spec.link = config.link;
+  // Tie the network fault stream to the run seed so the same seed reproduces
+  // the same jitter/drop pattern (no-op unless fault knobs are set).
+  spec.link.fault_seed ^= config.seed;
   spec.cost = config.cost;
   spec.disk = config.disk;
   return spec;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster_spec.hpp"
 #include "cluster/resource_pool.hpp"
@@ -42,6 +43,45 @@ enum class SplitVariant : std::uint8_t {
 };
 
 const char* split_variant_name(SplitVariant variant);
+
+/// One injected fail-stop crash of a join node.  Exactly one trigger must be
+/// set: a time trigger (`at_time` >= 0, virtual seconds under SimRuntime,
+/// wall seconds after run() under ThreadRuntime) or a progress trigger
+/// (`after_chunks` > 0: the node dies as its K-th data chunk arrives, which
+/// is the deterministic way to hit a build-phase point on both runtimes).
+struct KillSpec {
+  std::uint32_t pool_index = 0;   // join node: EhjaConfig::pool_node(index)
+  double at_time = -1.0;          // < 0 = disabled
+  std::uint64_t after_chunks = 0; // 0 = disabled
+};
+
+/// Injected failures for one run.  Only join (pool) nodes may be killed;
+/// scheduler and source failures are out of scope (ROADMAP follow-up).
+struct FaultPlan {
+  std::vector<KillSpec> kills;
+  bool empty() const { return kills.empty(); }
+};
+
+/// Failure-detection knobs.  The heartbeat machinery (pings, pongs,
+/// per-message bookkeeping bytes) only runs when recovery is enabled, so
+/// fault-free runs keep bit-identical event timelines with older builds.
+struct FaultToleranceConfig {
+  /// Arm detection/recovery even with an empty FaultPlan (e.g. to measure
+  /// heartbeat overhead, or when only network faults are injected).
+  bool force_enabled = false;
+  /// Scheduler ping cadence.
+  double heartbeat_interval_sec = 0.5;
+  /// Silence after which a join node is declared dead.  Must comfortably
+  /// exceed worst-case ping+pong queueing delay: a timeout that fires on a
+  /// merely-busy node is safe (stale traffic is fenced) but wasteful, and a
+  /// node rebuilding a collapsed range during recovery is busy for a long
+  /// time (the full paper workload re-inserts ~2.5M tuples = ~0.6s of CPU,
+  /// more if it spills).  Declaring *that* node dead folds the recovery
+  /// onto the next owner and can cascade through the whole pool, so the
+  /// default is sized for the paper-scale workload; small test workloads
+  /// override both knobs downward for tighter detection latency.
+  double heartbeat_timeout_sec = 5.0;
+};
 
 struct EhjaConfig {
   Algorithm algorithm = Algorithm::kHybrid;
@@ -111,6 +151,19 @@ struct EhjaConfig {
   LinkConfig link;
   CostModel cost;
   DiskConfig disk;
+
+  /// Injected node failures and the detection knobs that go with them.
+  FaultPlan faults;
+  FaultToleranceConfig ft;
+
+  /// Whether this run carries the failure-detection/recovery machinery
+  /// (heartbeats, incarnation epochs, per-pair chunk accounting on the
+  /// wire).  Off by default so fault-free runs reproduce the pre-recovery
+  /// event timeline bit for bit.
+  bool recovery_enabled() const { return ft.force_enabled || !faults.empty(); }
+
+  /// First kill spec targeting cluster node `node`, or nullptr.
+  const KillSpec* kill_for_node(NodeId node) const;
 
   // --- derived layout: node 0 = scheduler/front-end, then sources, then
   // the join pool ---

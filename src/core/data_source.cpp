@@ -23,6 +23,11 @@ const RelationSpec& DataSourceActor::active_spec() const {
   return phase_ == Phase::kBuild ? config_->build_rel : config_->probe_rel;
 }
 
+const RelationSpec& DataSourceActor::spec_of(RelTag rel) const {
+  return rel == config_->build_rel.tag ? config_->build_rel
+                                       : config_->probe_rel;
+}
+
 void DataSourceActor::on_message(const Message& msg) {
   switch (static_cast<Tag>(msg.tag)) {
     case Tag::kStartBuild: {
@@ -50,6 +55,11 @@ void DataSourceActor::on_message(const Message& msg) {
       generate_slice();
       break;
     }
+    case Tag::kReplayRequest: {
+      charge(config_->cost.control_handle_sec);
+      handle_replay(msg.as<ReplayRequestPayload>());
+      break;
+    }
     default:
       EHJA_CHECK_MSG(false, "data source received unexpected tag");
   }
@@ -62,11 +72,22 @@ void DataSourceActor::start_relation(RelTag /*rel*/, const PartitionMap& map) {
   stream_.emplace(active_spec(), config_->seed, source_index_,
                   config_->data_sources);
   tuples_sent_ = 0;
+  defer_slice();
+}
+
+void DataSourceActor::defer_slice() {
+  if (slice_pending_) return;
+  slice_pending_ = true;
   defer(make_signal(Tag::kGenSlice));
 }
 
 void DataSourceActor::generate_slice() {
-  EHJA_CHECK(phase_ == Phase::kBuild || phase_ == Phase::kProbe);
+  slice_pending_ = false;
+  if (replay_.has_value()) {
+    replay_slice();
+    return;
+  }
+  if (paused_ || phase_ == Phase::kIdle || phase_ == Phase::kDone) return;
   const RelTag rel = active_spec().tag;
   Tuple t;
   std::uint32_t produced = 0;
@@ -90,7 +111,7 @@ void DataSourceActor::generate_slice() {
   }
 
   if (stream_->remaining() > 0) {
-    defer(make_signal(Tag::kGenSlice));
+    defer_slice();
     return;
   }
   flush_all();
@@ -98,15 +119,94 @@ void DataSourceActor::generate_slice() {
   done.rel = rel;
   done.chunks_sent = rel == RelTag::kR ? build_chunks_ : probe_chunks_;
   done.tuples_sent = tuples_sent_;
-  send(scheduler_, make_message(Tag::kSourceDone, done, kControlWireBytes));
+  std::size_t wire = kControlWireBytes;
+  if (config_->recovery_enabled()) {
+    done.chunks_to = chunks_to_;
+    wire += 24 * done.chunks_to.size();
+  }
+  send(scheduler_, make_message(Tag::kSourceDone, std::move(done), wire));
   phase_ = phase_ == Phase::kBuild ? Phase::kIdle : Phase::kDone;
-  EHJA_DEBUG(name(), "finished ", rel_name(rel), ": ", done.chunks_sent,
-             " chunks, ", done.tuples_sent, " tuples");
+  EHJA_DEBUG(name(), "finished ", rel_name(rel), ": ", tuples_sent_,
+             " tuples");
+}
+
+void DataSourceActor::handle_replay(const ReplayRequestPayload& req) {
+  // Everything buffered so far belongs to the old incarnation: out the door
+  // under the old epoch (fences sort out what must die), then adopt the new
+  // one.  A folded recovery's request simply overwrites a running job.
+  flush_all();
+  epoch_ = std::max(epoch_, req.epoch);
+  paused_ = req.pause_after;
+  ReplayJob job;
+  job.epoch = req.epoch;
+  job.rel = req.rel;
+  job.ranges = req.ranges;
+  job.stream.emplace(spec_of(req.rel), config_->seed, source_index_,
+                     config_->data_sources);
+  // Replay exactly the prefix already produced: the normal stream covers
+  // the rest.  Once the relation finished (or was never this phase's
+  // stream), the whole slice is fair game.
+  const bool streaming_it =
+      stream_.has_value() &&
+      ((req.rel == config_->build_rel.tag && phase_ == Phase::kBuild) ||
+       (req.rel == config_->probe_rel.tag && phase_ == Phase::kProbe));
+  job.cap = streaming_it ? stream_->produced() : job.stream->slice_size();
+  EHJA_INFO(name(), "replay ", rel_name(req.rel), " epoch ", req.epoch, ": ",
+            job.cap, " tuples to re-examine over ", req.ranges.size(),
+            " range(s)", req.pause_after ? ", then pause" : "");
+  replay_ = std::move(job);
+  defer_slice();
+}
+
+void DataSourceActor::replay_slice() {
+  ReplayJob& job = *replay_;
+  Tuple t;
+  std::uint32_t produced = 0;
+  while (produced < config_->generation_slice_tuples &&
+         job.stream->produced() < job.cap && job.stream->next(t)) {
+    ++produced;
+    const std::uint64_t pos = position_of(t.key);
+    bool lost = false;
+    for (const PosRange& r : job.ranges) {
+      if (r.contains(pos)) {
+        lost = true;
+        break;
+      }
+    }
+    if (!lost) continue;
+    ++job.replayed;
+    route_tuple(t, job.rel, /*probe_fanout=*/job.rel == config_->probe_rel.tag);
+  }
+  charge(static_cast<double>(produced) * config_->cost.tuple_generate_sec);
+  if (job.stream->produced() < job.cap && job.stream->remaining() > 0) {
+    defer_slice();
+    return;
+  }
+  flush_all();  // replay chunks go out stamped with the new epoch
+  ReplayDonePayload done;
+  done.epoch = job.epoch;
+  done.rel = job.rel;
+  done.tuples_replayed = job.replayed;
+  done.chunks_to = chunks_to_;
+  done.chunks_sent_total = build_chunks_ + probe_chunks_;
+  const std::size_t wire = kControlWireBytes + 24 * done.chunks_to.size();
+  EHJA_INFO(name(), "replay done: ", job.replayed, " tuples re-sent");
+  send(scheduler_, make_message(Tag::kReplayDone, std::move(done), wire));
+  replay_.reset();
+  if (!paused_ && (phase_ == Phase::kBuild || phase_ == Phase::kProbe) &&
+      stream_.has_value() && stream_->remaining() > 0) {
+    defer_slice();
+  }
 }
 
 void DataSourceActor::route(const Tuple& t, RelTag rel) {
+  route_tuple(t, rel, /*probe_fanout=*/phase_ == Phase::kProbe);
+}
+
+void DataSourceActor::route_tuple(const Tuple& t, RelTag rel,
+                                  bool probe_fanout) {
   const auto& entry = map_.entry_for(position_of(t.key));
-  if (phase_ == Phase::kBuild) {
+  if (!probe_fanout) {
     buffer_tuple(entry.active_owner(), t, rel);
   } else {
     // Probe: replicated ranges receive every probe tuple on all replicas.
@@ -135,17 +235,21 @@ void DataSourceActor::flush(ActorId to) {
   Chunk& buffer = it->second;
   const std::size_t n = buffer.tuples.size();
   charge(static_cast<double>(n) * config_->cost.tuple_pack_sec);
-  tuples_sent_ += n;
+  // Replayed tuples are re-deliveries, not new production: keeping them out
+  // of tuples_sent_ preserves the build-side conservation check.
+  if (!replay_.has_value()) tuples_sent_ += n;
   if (buffer.rel == RelTag::kR) {
     ++build_chunks_;
   } else {
     ++probe_chunks_;
   }
+  if (config_->recovery_enabled()) ++chunks_to_[to];
   ChunkPayload payload;
   payload.chunk = std::move(buffer);
   payload.forwarded = false;
+  payload.epoch = epoch_;
   const std::size_t wire =
-      chunk_wire_bytes(payload.chunk, active_spec().schema);
+      chunk_wire_bytes(payload.chunk, spec_of(payload.chunk.rel).schema);
   buffers_.erase(it);
   send(to, make_message(Tag::kDataChunk, std::move(payload), wire));
 }

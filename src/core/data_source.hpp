@@ -13,6 +13,18 @@
 // destination actor, so a buffer partially filled before a map update still
 // goes to the old owner, which forwards it -- matching the paper's pending-
 // buffer semantics.
+//
+// Recovery (core/recovery.hpp): the source is the only authoritative copy
+// of the data -- TupleStream is a pure function of (seed, slice) -- so a
+// kReplayRequest regenerates the slice from the start and re-sends the
+// tuples inside the lost ranges, routed by the current map and stamped with
+// the new epoch.  The replay covers exactly the prefix already produced at
+// the moment the request is processed (the full slice once the relation
+// finished): later tuples flow through the normal stream, earlier ones were
+// either delivered or are fence-dropped in flight.  Buffers are flushed
+// under the old epoch *before* the epoch is adopted, so no tuple is ever
+// stranded between the two incarnations.  `pause_after` holds the normal
+// stream quiescent for the probe-phase settle drain.
 #pragma once
 
 #include <cstdint>
@@ -41,13 +53,29 @@ class DataSourceActor final : public Actor {
  private:
   enum class Phase { kIdle, kBuild, kProbe, kDone };
 
+  /// One in-flight replay job; a folded recovery's new request overwrites it.
+  struct ReplayJob {
+    std::uint64_t epoch = 0;
+    RelTag rel = RelTag::kR;
+    std::vector<PosRange> ranges;
+    std::optional<TupleStream> stream;  // fresh regeneration of the slice
+    std::uint64_t cap = 0;              // tuples of the slice to re-examine
+    std::uint64_t replayed = 0;         // tuples actually re-sent
+  };
+
   void start_relation(RelTag rel, const PartitionMap& map);
   void generate_slice();
+  void handle_replay(const ReplayRequestPayload& req);
+  void replay_slice();
   void route(const Tuple& t, RelTag rel);
+  void route_tuple(const Tuple& t, RelTag rel, bool probe_fanout);
   void buffer_tuple(ActorId to, const Tuple& t, RelTag rel);
   void flush(ActorId to);
   void flush_all();
+  /// Queue a kGenSlice self-message unless one is already outstanding.
+  void defer_slice();
   const RelationSpec& active_spec() const;
+  const RelationSpec& spec_of(RelTag rel) const;
 
   std::shared_ptr<const EhjaConfig> config_;
   std::uint32_t source_index_;
@@ -64,6 +92,21 @@ class DataSourceActor final : public Actor {
   std::uint64_t tuples_sent_ = 0;
   /// Build slices since the last kSourceProgress report (kAdaptive only).
   std::uint32_t slices_since_report_ = 0;
+
+  // --- recovery state (inert in fault-free runs) ---
+  /// Incarnation epoch stamped on every flushed chunk (0 until a replay).
+  std::uint64_t epoch_ = 0;
+  std::optional<ReplayJob> replay_;
+  /// Normal stream held quiescent (probe-recovery settle drain); released
+  /// by the next replay request with pause_after == false.
+  bool paused_ = false;
+  /// A kGenSlice self-message is in flight (guards against doubling the
+  /// generation cadence when a replay interleaves with normal generation).
+  bool slice_pending_ = false;
+  /// Cumulative data chunks per destination, normal + replay streams
+  /// (maintained only when recovery is enabled; feeds the live-nodes-only
+  /// drain balance via kSourceDone / kReplayDone).
+  std::map<ActorId, std::uint64_t> chunks_to_;
 };
 
 }  // namespace ehja

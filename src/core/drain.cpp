@@ -12,7 +12,7 @@ void DrainProtocol::arm() {
 DrainProbePayload DrainProtocol::begin_round() {
   ++epoch_;
   in_round_ = true;
-  acks_ = 0;
+  acked_.clear();
   received_ = 0;
   forwarded_ = 0;
   DrainProbePayload probe;
@@ -26,14 +26,14 @@ void DrainProtocol::abort() {
 }
 
 DrainProtocol::Outcome DrainProtocol::on_ack(
-    const DrainAckPayload& ack, std::size_t join_count,
+    ActorId from, const DrainAckPayload& ack, std::size_t join_count,
     std::uint64_t expected_source_chunks) {
   if (ack.epoch != epoch_) return Outcome::kStale;  // older round
   if (!in_round_) return Outcome::kStale;           // round aborted
-  ++acks_;
+  if (!acked_.insert(from).second) return Outcome::kStale;  // duplicate
   received_ += ack.data_chunks_received;
   forwarded_ += ack.data_chunks_forwarded;
-  if (acks_ < join_count) return Outcome::kPending;
+  if (acked_.size() < join_count) return Outcome::kPending;
 
   in_round_ = false;
   const auto totals = std::make_pair(received_, forwarded_);

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <utility>
 
 #include "core/messages.hpp"
@@ -45,10 +46,13 @@ class DrainProtocol {
   /// current round become stale.  arm() + begin_round() restart it.
   void abort();
 
-  /// Account one ack.  `join_count` is the number of polled join actors,
-  /// `expected_source_chunks` the cumulative data chunks the sources
-  /// report having sent for the phases being drained.
-  Outcome on_ack(const DrainAckPayload& ack, std::size_t join_count,
+  /// Account one ack from join actor `from`.  `join_count` is the number of
+  /// polled join actors, `expected_source_chunks` the cumulative data
+  /// chunks the sources report having sent for the phases being drained.
+  /// Acks from an older epoch, an aborted round, or a sender already
+  /// counted this round (duplicate delivery) are rejected as kStale.
+  Outcome on_ack(ActorId from, const DrainAckPayload& ack,
+                 std::size_t join_count,
                  std::uint64_t expected_source_chunks);
 
   /// Monotonic over the whole run (stale-ack detection across drains).
@@ -62,7 +66,7 @@ class DrainProtocol {
  private:
   std::uint64_t epoch_ = 0;
   bool in_round_ = false;
-  std::uint32_t acks_ = 0;
+  std::set<ActorId> acked_;  // senders counted this round (dedupe)
   std::uint64_t received_ = 0;
   std::uint64_t forwarded_ = 0;
   /// (received, forwarded) totals of the previous completed round.

@@ -72,12 +72,21 @@ RunResult run_ehja(const EhjaConfig& config, RuntimeKind kind) {
   scheduler_raw->wire(std::move(sources), std::move(initial_joins),
                       std::move(pool));
 
+  // Install the fault plan's time-triggered kills (progress-triggered ones
+  // fire from inside the victim join process as its K-th chunk arrives).
+  for (const KillSpec& kill : cfg->faults.kills) {
+    if (kill.at_time >= 0.0) {
+      rt->schedule_kill(cfg->pool_node(kill.pool_index), kill.at_time);
+    }
+  }
+
   rt->run();
 
   EHJA_CHECK_MSG(scheduler_raw->finished(),
                  "runtime stopped before the join completed");
   RunResult result;
   result.metrics = std::as_const(*scheduler_raw).metrics();
+  result.metrics.failures_injected = rt->kills_executed();
   result.runtime = kind;
   return result;
 }

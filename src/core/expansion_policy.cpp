@@ -64,7 +64,12 @@ void ExpansionPolicy::try_start_expansion() {
 }
 
 void ExpansionPolicy::on_op_complete(const OpCompletePayload& done) {
-  EHJA_CHECK(op_.has_value());
+  // A completion for an op abandoned by on_actor_dead() (or superseded
+  // after a recovery) is stale, not a protocol violation.
+  if (!op_.has_value() || done.op_id != op_->op_id) {
+    EHJA_WARN("policy", "ignoring stale op-complete for op ", done.op_id);
+    return;
+  }
   const double duration = env_.now() - op_->started;
   if (op_->is_split) {
     env_.metrics().split_time += duration;
@@ -100,9 +105,33 @@ void ExpansionPolicy::drop_stale(ActorId requester) {
   try_start_expansion();
 }
 
+std::optional<NodeId> ExpansionPolicy::acquire_node() {
+  // Dead pool nodes are consumed and skipped: the pool does not know about
+  // failures, but handing out a corpse would wedge the expansion op.
+  while (auto picked = pool_.acquire()) {
+    if (env_.node_alive(*picked)) return picked;
+  }
+  return std::nullopt;
+}
+
+void ExpansionPolicy::on_actor_dead(ActorId dead) {
+  full_queue_.erase(std::remove(full_queue_.begin(), full_queue_.end(), dead),
+                    full_queue_.end());
+  spilled_.erase(std::remove(spilled_.begin(), spilled_.end(), dead),
+                 spilled_.end());
+  if (op_.has_value() &&
+      (op_->requester == dead || op_->fresh == dead)) {
+    // A participant died mid-op: the kOpComplete will never arrive and the
+    // survivor's state is rebuilt by recovery.  Abandon without credit.
+    EHJA_WARN("policy", "abandoning expansion op ", op_->op_id,
+              " after death of join ", dead);
+    op_.reset();
+  }
+}
+
 std::optional<NodeId> ExpansionPolicy::acquire_or_spill_all(
     ActorId requester) {
-  const auto picked = pool_.acquire();
+  const auto picked = acquire_node();
   if (!picked.has_value()) {
     pool_exhausted_ = true;
     send_switch_to_spill(requester);
@@ -132,7 +161,7 @@ std::size_t ExpansionPolicy::entry_owned_by(ActorId actor) const {
 
 std::uint64_t ExpansionPolicy::begin_op(ActorId requester, bool is_split) {
   const std::uint64_t op_id = next_op_id_++;
-  op_ = OpInfo{env_.now(), is_split, requester};
+  op_ = OpInfo{env_.now(), is_split, requester, kInvalidActor, op_id};
   return op_id;
 }
 
@@ -145,6 +174,7 @@ void ExpansionPolicy::launch_split(ActorId requester, ActorId fresh,
   map.split_entry(entry_index, mid, fresh);
 
   const std::uint64_t op_id = begin_op(requester, /*is_split=*/true);
+  op_->fresh = fresh;
 
   JoinInitPayload init;
   init.role = JoinRole::kSplitChild;
@@ -172,6 +202,7 @@ void ExpansionPolicy::launch_replica(ActorId requester, ActorId fresh,
   map.add_replica(entry_index, fresh);
 
   const std::uint64_t op_id = begin_op(requester, /*is_split=*/false);
+  op_->fresh = fresh;
 
   JoinInitPayload init;
   init.role = JoinRole::kReplica;

@@ -76,6 +76,15 @@ class ExpansionEnv {
   virtual SimTime now() const = 0;
   virtual void trace(TraceKind kind, std::int64_t a = 0,
                      std::int64_t b = 0) = 0;
+
+  // --- recovery services (core/recovery.hpp drives expansion machinery
+  // through the same seam) ---
+  /// Live join actors, in spawn order (dead ones already pruned).
+  virtual const std::vector<ActorId>& join_actors() const = 0;
+  /// The data-source actors, in source-index order.
+  virtual const std::vector<ActorId>& source_actors() const = 0;
+  /// Fail-stop liveness of a cluster node (Runtime::node_alive).
+  virtual bool node_alive(NodeId node) const = 0;
 };
 
 class ExpansionPolicy {
@@ -108,6 +117,23 @@ class ExpansionPolicy {
   const std::vector<ActorId>& spilled() const { return spilled_; }
 
   bool pool_exhausted() const { return pool_exhausted_; }
+
+  // --- recovery hooks -------------------------------------------------
+  /// Acquire a pool node, skipping nodes that have since died (a dead pool
+  /// node is silently consumed).  Used by the recovery manager to recruit
+  /// replacement nodes; does not touch the overflow queue.
+  std::optional<NodeId> acquire_node();
+  /// `dead` was declared failed: purge it from the overflow queue and the
+  /// spilled list, and abandon the in-flight op if it involves the dead
+  /// actor (its kOpComplete will never arrive; the survivor's state is
+  /// rebuilt by recovery).  Does not start new ops -- the scheduler calls
+  /// kick() once recovery finishes.
+  void on_actor_dead(ActorId dead);
+  /// Restart queued expansions after recovery resumes the build.
+  void kick() { try_start_expansion(); }
+  /// Degrade `requester` to local spilling unconditionally (probe-phase
+  /// recovery with no memory headroom for the rebuilt range).
+  void force_spill(ActorId requester) { send_switch_to_spill(requester); }
 
   ExpansionPolicy(std::shared_ptr<const EhjaConfig> config, ExpansionEnv& env,
                   ResourcePool pool);
@@ -159,6 +185,8 @@ class ExpansionPolicy {
     SimTime started = 0.0;
     bool is_split = false;
     ActorId requester = kInvalidActor;
+    ActorId fresh = kInvalidActor;
+    std::uint64_t op_id = 0;
   };
 
   std::uint64_t begin_op(ActorId requester, bool is_split);

@@ -1,0 +1,39 @@
+#include "core/failure_detector.hpp"
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+void FailureDetector::track(ActorId actor, SimTime now) {
+  EHJA_CHECK(actor != kInvalidActor);
+  last_heard_.emplace(actor, now);
+}
+
+void FailureDetector::untrack(ActorId actor) { last_heard_.erase(actor); }
+
+bool FailureDetector::tracking(ActorId actor) const {
+  return last_heard_.count(actor) != 0;
+}
+
+void FailureDetector::heard_from(ActorId actor, SimTime now) {
+  auto it = last_heard_.find(actor);
+  if (it == last_heard_.end()) return;  // late pong from a declared death
+  if (now > it->second) it->second = now;
+}
+
+FailureDetector::TickResult FailureDetector::tick(SimTime now) {
+  TickResult result;
+  for (auto it = last_heard_.begin(); it != last_heard_.end();) {
+    const double silence = now - it->second;
+    if (silence > timeout_sec_) {
+      result.dead.push_back(Death{it->first, silence});
+      it = last_heard_.erase(it);
+    } else {
+      result.ping.push_back(it->first);
+      ++it;
+    }
+  }
+  return result;
+}
+
+}  // namespace ehja

@@ -1,0 +1,61 @@
+// Heartbeat failure detector.
+//
+// A pure state machine (no actor machinery), driven by the scheduler's
+// timed kHeartbeatTick: track() registers a join process, heard_from()
+// records any sign of life (a kPong, but any message counts), and tick()
+// returns who to ping next and who has been silent past the timeout.  The
+// scheduler owns all messaging; this class only keeps the clock book.
+//
+// The detector is deliberately *eventually perfect* rather than accurate: a
+// busy-but-live node that misses the timeout is declared dead, and the
+// recovery protocol stays correct anyway (the false-dead node's traffic is
+// fenced by incarnation epochs and its state is rebuilt elsewhere) -- the
+// cost of a false positive is wasted replay, never a wrong join result.
+// Phi-accrual suspicion levels and node rejuvenation are ROADMAP follow-ups.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "runtime/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace ehja {
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(double timeout_sec) : timeout_sec_(timeout_sec) {}
+
+  /// Start watching `actor`; `now` seeds its last-heard clock.
+  void track(ActorId actor, SimTime now);
+  /// Stop watching (the actor died or the protocol is winding down).
+  void untrack(ActorId actor);
+  bool tracking(ActorId actor) const;
+  std::size_t tracked_count() const { return last_heard_.size(); }
+
+  /// Record a sign of life.  Ignored for untracked actors (a pong from an
+  /// actor already declared dead must not resurrect it).
+  void heard_from(ActorId actor, SimTime now);
+
+  struct Death {
+    ActorId actor = kInvalidActor;
+    double silence_sec = 0.0;  // detection latency: now - last heard
+  };
+  struct TickResult {
+    std::vector<ActorId> ping;  // still live: ping them again
+    std::vector<Death> dead;    // silent past the timeout; now untracked
+  };
+
+  /// One detector round at time `now`.  Actors silent for longer than the
+  /// timeout are declared dead (and untracked); everyone else should be
+  /// pinged.  Deterministic: results are in ActorId order.
+  TickResult tick(SimTime now);
+
+  double timeout_sec() const { return timeout_sec_; }
+
+ private:
+  double timeout_sec_;
+  std::map<ActorId, SimTime> last_heard_;
+};
+
+}  // namespace ehja

@@ -37,7 +37,7 @@ void JoinProcessActor::on_message(const Message& msg) {
       handle_init(msg.as<JoinInitPayload>());
       break;
     case Tag::kDataChunk:
-      handle_chunk(msg.as<ChunkPayload>());
+      handle_chunk(msg.from, msg.as<ChunkPayload>());
       break;
     case Tag::kForwardEnd: {
       charge(config_->cost.control_handle_sec);
@@ -72,9 +72,25 @@ void JoinProcessActor::on_message(const Message& msg) {
       ack.epoch = msg.as<DrainProbePayload>().epoch;
       ack.data_chunks_received = chunks_received_;
       ack.data_chunks_forwarded = chunks_forwarded_;
-      send(scheduler_, make_message(Tag::kDrainAck, ack, kControlWireBytes));
+      std::size_t wire = kControlWireBytes;
+      if (config_->recovery_enabled()) {
+        ack.received_from = received_from_;
+        ack.forwarded_to = forwarded_to_;
+        wire += 24 * (ack.received_from.size() + ack.forwarded_to.size());
+      }
+      send(scheduler_, make_message(Tag::kDrainAck, std::move(ack), wire));
       break;
     }
+    case Tag::kPing:
+      charge(config_->cost.control_handle_sec);
+      send(scheduler_, make_signal(Tag::kPong));
+      break;
+    case Tag::kRecoveryFence:
+      handle_fence(msg.as<RecoveryFencePayload>());
+      break;
+    case Tag::kRangeReset:
+      handle_range_reset(msg.as<RangeResetPayload>());
+      break;
     case Tag::kHistogramRequest:
       handle_histogram_request(msg.as<HistogramRequestPayload>());
       break;
@@ -106,10 +122,10 @@ void JoinProcessActor::handle_init(const JoinInitPayload& init) {
   EHJA_DEBUG(name(), "init role=", static_cast<int>(init.role), " range=[",
              range_.lo, ",", range_.hi, ")");
   // Replay anything that raced ahead of the init message.
-  std::vector<ChunkPayload> stashed;
+  std::vector<std::pair<ActorId, ChunkPayload>> stashed;
   stashed.swap(pre_init_chunks_);
-  for (const ChunkPayload& payload : stashed) {
-    handle_chunk(payload);
+  for (const auto& [from, payload] : stashed) {
+    handle_chunk(from, payload);
   }
 }
 
@@ -133,28 +149,79 @@ void JoinProcessActor::after_insert_overflow_check() {
   send(scheduler_, make_message(Tag::kMemoryFull, full, kControlWireBytes));
 }
 
-void JoinProcessActor::handle_chunk(const ChunkPayload& payload) {
+bool JoinProcessActor::fence_drops(std::uint64_t chunk_epoch,
+                                   std::uint64_t pos) const {
+  for (const RecoveryFencePayload& fence : fences_) {
+    if (chunk_epoch >= fence.epoch) continue;
+    for (const PosRange& r : fence.lost) {
+      if (r.contains(pos)) return true;
+    }
+  }
+  return false;
+}
+
+void JoinProcessActor::handle_chunk(ActorId from, const ChunkPayload& payload) {
+  if (const KillSpec* kill = config_->kill_for_node(node());
+      kill != nullptr && kill->after_chunks > 0 &&
+      chunks_received_ + 1 == kill->after_chunks) {
+    EHJA_WARN(name(), "fault injection: node ", node(), " dies on chunk ",
+              kill->after_chunks);
+    rt().kill_node(node());
+    return;
+  }
   if (!table_ && !spiller_) {
     // Raced ahead of kJoinInit (thread runtime); counted when replayed.
-    pre_init_chunks_.push_back(payload);
+    pre_init_chunks_.emplace_back(from, payload);
     return;
   }
   ++chunks_received_;
+  if (config_->recovery_enabled()) ++received_from_[from];
   const Chunk& chunk = payload.chunk;
   charge(static_cast<double>(chunk.size()) * config_->cost.tuple_pack_sec);
-  if (chunk.rel == config_->build_rel.tag) {
-    handle_build_chunk(chunk);
+  if (fences_.empty()) {
+    if (chunk.rel == config_->build_rel.tag) {
+      handle_build_chunk(chunk, payload.epoch);
+    } else {
+      handle_probe_chunk(chunk);
+    }
+    return;
+  }
+  // Filter out tuples a recovery fence covers: they belong to ranges being
+  // rebuilt, and the source replay re-delivers them under the new epoch.
+  Chunk kept;
+  kept.rel = chunk.rel;
+  kept.tuples.reserve(chunk.tuples.size());
+  for (const Tuple& t : chunk.tuples) {
+    if (fence_drops(payload.epoch, position_of(t.key))) {
+      ++fence_dropped_tuples_;
+    } else {
+      kept.tuples.push_back(t);
+    }
+  }
+  if (retired_) {
+    // A retired node owns no map entry; anything surviving the fences here
+    // indicates a routing bug upstream, so keep it loud.
+    EHJA_CHECK_MSG(kept.tuples.empty(),
+                   "data tuple survived fences at a retired node");
+    return;
+  }
+  if (kept.tuples.empty()) return;
+  if (kept.rel == config_->build_rel.tag) {
+    handle_build_chunk(kept, payload.epoch);
   } else {
-    handle_probe_chunk(chunk);
+    handle_probe_chunk(kept);
   }
 }
 
-void JoinProcessActor::handle_build_chunk(const Chunk& chunk) {
+void JoinProcessActor::handle_build_chunk(const Chunk& chunk,
+                                          std::uint64_t epoch) {
   const Schema& schema = config_->build_rel.schema;
   if (frozen_) {
     // Paper ss4.2.2: a full node forwards arriving build data to the fresh
-    // replica of its range.
-    chunks_forwarded_ += ship(handoff_target_, chunk.tuples, chunk.rel, schema);
+    // replica of its range.  The forward keeps the incoming chunk's epoch:
+    // the tuples are the original sender's incarnation, not this node's.
+    chunks_forwarded_ +=
+        ship(handoff_target_, chunk.tuples, chunk.rel, schema, epoch);
     return;
   }
 
@@ -182,7 +249,8 @@ void JoinProcessActor::handle_build_chunk(const Chunk& chunk) {
     foreign[target].push_back(t);
   }
   for (auto& [target, tuples] : foreign) {
-    chunks_forwarded_ += ship(target, std::move(tuples), chunk.rel, schema);
+    chunks_forwarded_ +=
+        ship(target, std::move(tuples), chunk.rel, schema, epoch);
   }
 
   if (spiller_) {
@@ -240,7 +308,7 @@ void JoinProcessActor::handle_split_request(const SplitRequestPayload& req) {
 
   chunks_forwarded_ += ship(req.target, std::move(moved),
                             config_->build_rel.tag,
-                            config_->build_rel.schema);
+                            config_->build_rel.schema, epoch_);
   ForwardEndPayload end;
   end.op_id = req.op_id;
   send(req.target, make_message(Tag::kForwardEnd, end, kControlWireBytes));
@@ -274,6 +342,7 @@ void JoinProcessActor::handle_histogram_request(
          config_->cost.control_handle_sec);
   HistogramReplyPayload reply;
   reply.set_id = req.set_id;
+  reply.round = req.round;
   reply.histogram = std::move(hist);
   const std::size_t wire = reply.histogram.wire_bytes();
   send(scheduler_, make_message(Tag::kHistogramReply, std::move(reply), wire));
@@ -293,14 +362,16 @@ void JoinProcessActor::handle_reshuffle(const ReshuffleMovePayload& move) {
     if (!out.empty()) {
       chunks_forwarded_ += ship(entry.owners.front(), std::move(out),
                                 config_->build_rel.tag,
-                                config_->build_rel.schema);
+                                config_->build_rel.schema, epoch_);
     }
   }
   EHJA_CHECK_MSG(!mine.empty(), "reshuffle plan omits this member");
   table_->set_range(mine);
   range_ = mine;
+  ReshuffleDonePayload done;
+  done.round = move.round;
   send(scheduler_,
-       make_signal(Tag::kReshuffleDone));
+       make_message(Tag::kReshuffleDone, done, kControlWireBytes));
   note_overshoot();
 }
 
@@ -322,7 +393,8 @@ void JoinProcessActor::enter_spill_mode() {
 }
 
 std::uint64_t JoinProcessActor::ship(ActorId target, std::vector<Tuple> tuples,
-                                     RelTag rel, const Schema& schema) {
+                                     RelTag rel, const Schema& schema,
+                                     std::uint64_t epoch) {
   EHJA_CHECK(target != kInvalidActor);
   if (tuples.empty()) return 0;
   charge(static_cast<double>(tuples.size()) * config_->cost.tuple_pack_sec);
@@ -333,6 +405,7 @@ std::uint64_t JoinProcessActor::ship(ActorId target, std::vector<Tuple> tuples,
         std::min<std::size_t>(config_->chunk_tuples, tuples.size() - offset);
     ChunkPayload payload;
     payload.forwarded = true;
+    payload.epoch = epoch;
     payload.chunk.rel = rel;
     payload.chunk.tuples.assign(tuples.begin() + offset,
                                 tuples.begin() + offset + n);
@@ -341,7 +414,91 @@ std::uint64_t JoinProcessActor::ship(ActorId target, std::vector<Tuple> tuples,
     offset += n;
     ++chunks;
   }
+  if (config_->recovery_enabled()) forwarded_to_[target] += chunks;
   return chunks;
+}
+
+void JoinProcessActor::handle_fence(const RecoveryFencePayload& fence) {
+  charge(config_->cost.control_handle_sec);
+  epoch_ = std::max(epoch_, fence.epoch);
+  fences_.push_back(fence);
+}
+
+void JoinProcessActor::handle_range_reset(const RangeResetPayload& reset) {
+  charge(config_->cost.control_handle_sec);
+  epoch_ = std::max(epoch_, reset.epoch);
+  std::uint64_t dropped = 0;
+  if (reset.zero_probe_results) {
+    // Probe-phase recovery recomputes the entry from scratch: matches
+    // against the partial pre-crash table cannot be separated from the
+    // matches the full replay will recompute.
+    result_ = JoinResult{};
+    probe_tuples_ = 0;
+  }
+  if (table_) {
+    for (const PosRange& r : reset.discard) {
+      const std::uint64_t lo = std::max(r.lo, table_->range().lo);
+      const std::uint64_t hi = std::min(r.hi, table_->range().hi);
+      if (lo >= hi) continue;
+      dropped += table_->extract_range(PosRange{lo, hi}).size();
+    }
+    charge(static_cast<double>(dropped) * config_->cost.tuple_insert_sec);
+    if (reset.new_range.has_value()) {
+      range_ = *reset.new_range;
+      table_->set_range(range_);
+    }
+  } else if (spiller_) {
+    charge(rebuild_spiller(reset, dropped));
+  }
+  retired_ = retired_ || reset.retired;
+  frozen_ = false;
+  handoff_target_ = kInvalidActor;
+  memory_request_pending_ = false;
+  note_overshoot();
+  EHJA_INFO(name(), "range reset epoch ", reset.epoch, ": dropped ", dropped,
+            " build tuples", retired_ ? " (retired)" : "");
+  RangeResetAckPayload ack;
+  ack.epoch = reset.epoch;
+  send(scheduler_,
+       make_message(Tag::kRangeResetAck, ack, kControlWireBytes));
+}
+
+double JoinProcessActor::rebuild_spiller(const RangeResetPayload& reset,
+                                         std::uint64_t& dropped) {
+  std::vector<Tuple> build_keep;
+  std::vector<Tuple> probe_keep;
+  double seconds = spiller_->extract_all(build_keep, probe_keep);
+  const auto in_discard = [&reset](const Tuple& t) {
+    const std::uint64_t pos = position_of(t.key);
+    for (const PosRange& r : reset.discard) {
+      if (r.contains(pos)) return true;
+    }
+    return false;
+  };
+  const auto drop = [&](std::vector<Tuple>& tuples) {
+    const auto keep_end =
+        std::remove_if(tuples.begin(), tuples.end(), in_discard);
+    dropped += static_cast<std::uint64_t>(tuples.end() - keep_end);
+    tuples.erase(keep_end, tuples.end());
+  };
+  drop(build_keep);
+  drop(probe_keep);
+  if (reset.new_range.has_value()) range_ = *reset.new_range;
+  // Rebuild under a fresh spill-file namespace; the survivors re-run the
+  // dynamic hybrid-hash discipline (deferred probes of still-spilled
+  // partitions re-join at finish() exactly once, as before the reset).
+  ++spiller_generation_;
+  const std::uint64_t ns =
+      (static_cast<std::uint64_t>(id()) + 1) +
+      (static_cast<std::uint64_t>(spiller_generation_) << 20);
+  const SpillPolicy policy = config_->algorithm == Algorithm::kOutOfCore
+                                 ? SpillPolicy::kEvictAll
+                                 : SpillPolicy::kEvictLargest;
+  spiller_.emplace(config_->build_rel.schema, range_, budget(),
+                   config_->spill_fanout, disk_, config_->cost, ns, policy);
+  for (const Tuple& t : build_keep) seconds += spiller_->add_build(t);
+  for (const Tuple& t : probe_keep) seconds += spiller_->add_probe(t, result_);
+  return seconds;
 }
 
 void JoinProcessActor::handle_report_request() {
@@ -360,6 +517,7 @@ void JoinProcessActor::handle_report_request() {
   report.metrics.chunks_received = chunks_received_;
   report.metrics.chunks_forwarded = chunks_forwarded_;
   report.metrics.max_overshoot_bytes = max_overshoot_bytes_;
+  report.metrics.fence_dropped_tuples = fence_dropped_tuples_;
   if (spiller_) {
     report.metrics.spilled_build_tuples = spiller_->spilled_build_tuples();
     report.metrics.spilled_probe_tuples = spiller_->spilled_probe_tuples();

@@ -23,9 +23,18 @@
 //   out-of-core: never expands; owns a HybridHashSpiller from the start and
 //               degrades to local disk.  Any EHJA node also switches to the
 //               spiller when the scheduler reports the pool exhausted.
+//
+// Under recovery-enabled runs (EhjaConfig::recovery_enabled) the actor
+// additionally answers heartbeat pings, keeps per-peer chunk counters for
+// the live-nodes-only drain balance, applies epoch fences (dropping stale
+// tuples inside ranges being replayed; core/recovery.hpp has the protocol)
+// and executes kRangeReset surgery: discard ranges, unfreeze, regrow or
+// retire.  A node named in the run's FaultPlan kills its own cluster node
+// as its K-th data chunk arrives (the deterministic build-phase trigger).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -55,19 +64,30 @@ class JoinProcessActor final : public Actor {
 
  private:
   void handle_init(const JoinInitPayload& init);
-  void handle_chunk(const ChunkPayload& payload);
-  void handle_build_chunk(const Chunk& chunk);
+  void handle_chunk(ActorId from, const ChunkPayload& payload);
+  void handle_build_chunk(const Chunk& chunk, std::uint64_t epoch);
   void handle_probe_chunk(const Chunk& chunk);
   void handle_split_request(const SplitRequestPayload& req);
   void handle_handoff(const HandoffStartPayload& handoff);
   void handle_histogram_request(const HistogramRequestPayload& req);
   void handle_reshuffle(const ReshuffleMovePayload& move);
   void handle_report_request();
+  void handle_fence(const RecoveryFencePayload& fence);
+  void handle_range_reset(const RangeResetPayload& reset);
+  /// Discard `reset.discard` from the spiller (and regrow its range) by
+  /// draining the survivors into a fresh spiller; returns seconds consumed.
+  double rebuild_spiller(const RangeResetPayload& reset,
+                         std::uint64_t& dropped);
+  /// Whether a tuple at `pos` from a chunk stamped `chunk_epoch` falls
+  /// behind an epoch fence (its range is being replayed; drop it).
+  bool fence_drops(std::uint64_t chunk_epoch, std::uint64_t pos) const;
   void enter_spill_mode();
   void after_insert_overflow_check();
-  /// Ship `tuples` to `target` as chunks; returns chunks sent.
+  /// Ship `tuples` to `target` as chunks stamped `epoch`; returns chunks
+  /// sent.  Forwards of an incoming chunk preserve its epoch; shipments out
+  /// of this node's own table carry the node's current epoch.
   std::uint64_t ship(ActorId target, std::vector<Tuple> tuples, RelTag rel,
-                     const Schema& schema);
+                     const Schema& schema, std::uint64_t epoch);
   std::uint64_t budget() const;
   void note_overshoot();
 
@@ -87,18 +107,36 @@ class JoinProcessActor final : public Actor {
   bool expansion_enabled_ = true;
   /// Data chunks that arrived before kJoinInit (possible under the thread
   /// runtime's arbitrary delivery delays); replayed at init.
-  std::vector<ChunkPayload> pre_init_chunks_;
+  std::vector<std::pair<ActorId, ChunkPayload>> pre_init_chunks_;
   ActorId handoff_target_ = kInvalidActor;
   /// Ranges this node gave away in splits (disjoint), for stale re-routing.
   std::vector<std::pair<PosRange, ActorId>> forward_table_;
   bool memory_request_pending_ = false;
   bool reported_ = false;
 
+  // --- recovery state (stays zero/empty in fault-free runs) ---
+  /// Incarnation epoch: the highest epoch seen in a fence or reset.  Stamped
+  /// on every chunk this node ships out of its own table.
+  std::uint64_t epoch_ = 0;
+  /// Every fence received; chunks from older epochs drop tuples inside a
+  /// fence's lost ranges (re-delivered by source replay instead).
+  std::vector<RecoveryFencePayload> fences_;
+  /// This node's replica-set entry collapsed onto a surviving peer; it keeps
+  /// answering control traffic but stores no further data.
+  bool retired_ = false;
+  /// Per-peer breakdowns of the chunk counters for the live-nodes-only
+  /// drain balance (maintained only when recovery is enabled).
+  std::map<ActorId, std::uint64_t> received_from_;
+  std::map<ActorId, std::uint64_t> forwarded_to_;
+  /// Bumped per spiller rebuild so rebuilt spill files get fresh stream ids.
+  std::uint32_t spiller_generation_ = 0;
+
   // counters
   std::uint64_t chunks_received_ = 0;
   std::uint64_t chunks_forwarded_ = 0;
   std::uint64_t probe_tuples_ = 0;
   std::uint64_t max_overshoot_bytes_ = 0;
+  std::uint64_t fence_dropped_tuples_ = 0;
   JoinResult result_;
 };
 

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <vector>
 
 #include "core/metrics.hpp"
@@ -52,6 +54,16 @@ enum class Tag : int {
   // --- completion ---
   kReportRequest = 50,  // scheduler -> join: finish + report
   kNodeReport = 51,     // join -> scheduler
+
+  // --- failure detection and recovery (recovery_enabled() runs only) ---
+  kPing = 60,           // scheduler -> join: are you alive?
+  kPong = 61,           // join -> scheduler
+  kHeartbeatTick = 62,  // scheduler -> self (timed): run the detector
+  kRecoveryFence = 63,  // scheduler -> join: epoch bump + stale-range fence
+  kRangeReset = 64,     // scheduler -> join: discard ranges, maybe regrow
+  kRangeResetAck = 65,  // join -> scheduler: reset applied
+  kReplayRequest = 66,  // scheduler -> source: regenerate lost ranges
+  kReplayDone = 67,     // source -> scheduler: replay stream complete
 };
 
 /// Modes a join process can be initialized into.
@@ -75,6 +87,11 @@ struct StartBuildPayload {
 struct ChunkPayload {
   Chunk chunk;
   bool forwarded = false;  // peer-to-peer (migration/handoff/stale-route)
+  /// Recovery incarnation epoch of the sender at flush time (always 0 in
+  /// fault-free runs).  Receivers drop tuples from epochs older than a
+  /// fence covering their position -- the lost ranges are re-delivered by
+  /// source replay instead.
+  std::uint64_t epoch = 0;
 };
 
 struct ForwardEndPayload {
@@ -111,6 +128,10 @@ struct SourceDonePayload {
   RelTag rel = RelTag::kR;
   std::uint64_t chunks_sent = 0;
   std::uint64_t tuples_sent = 0;
+  /// Per-destination cumulative data-chunk counts (normal + replay streams).
+  /// Populated only when recovery is enabled: the scheduler needs them to
+  /// exclude chunks sent to since-dead nodes from the drain balance.
+  std::map<ActorId, std::uint64_t> chunks_to;
 };
 
 struct SourceProgressPayload {
@@ -126,6 +147,11 @@ struct DrainAckPayload {
   std::uint64_t epoch = 0;
   std::uint64_t data_chunks_received = 0;
   std::uint64_t data_chunks_forwarded = 0;
+  /// Per-sender / per-destination breakdowns of the two counters above.
+  /// Populated only when recovery is enabled, so the scheduler can reduce
+  /// the drain balance over live nodes only.
+  std::map<ActorId, std::uint64_t> received_from;
+  std::map<ActorId, std::uint64_t> forwarded_to;
 };
 
 struct StartProbePayload {
@@ -135,22 +161,90 @@ struct StartProbePayload {
 struct HistogramRequestPayload {
   std::uint64_t set_id = 0;
   std::size_t bins = 0;
+  /// Reshuffle attempt number.  A recovery can abort a reshuffle mid-flight
+  /// and re-run it; the round stamp lets the scheduler drop stragglers from
+  /// the aborted attempt (always 0 in fault-free runs).
+  std::uint32_t round = 0;
 };
 
 struct HistogramReplyPayload {
   std::uint64_t set_id = 0;
   BinnedHistogram histogram;
+  std::uint32_t round = 0;
 };
 
 struct ReshuffleMovePayload {
   /// The replica set's range re-cut into disjoint sub-ranges, one per set
   /// member; every member receives the same plan and ships accordingly.
   std::vector<PartitionMap::Entry> plan;
+  std::uint32_t round = 0;
+};
+
+struct ReshuffleDonePayload {
+  std::uint32_t round = 0;
 };
 
 struct NodeReportPayload {
   NodeMetrics metrics;
   std::uint64_t checksum = 0;
+};
+
+// --- failure detection and recovery payloads ---
+
+/// Epoch bump broadcast to every live join when nodes are declared dead.
+/// Data chunks stamped with an epoch older than `epoch` must drop tuples
+/// whose hash position falls in `lost` -- the authoritative copies are
+/// re-delivered by source replay under the new epoch.
+struct RecoveryFencePayload {
+  std::uint64_t epoch = 0;
+  std::vector<PosRange> lost;
+};
+
+/// Surgical state reset ordered before replay starts.  `discard` lists the
+/// position ranges whose build (and spilled) tuples the node must drop;
+/// `zero_probe_results` additionally clears accumulated matches (probe-phase
+/// recovery re-derives them); `new_range` regrows the node's range when a
+/// dead neighbour's orphaned entry was merged into it.
+struct RangeResetPayload {
+  std::uint64_t epoch = 0;
+  std::vector<PosRange> discard;
+  bool zero_probe_results = false;
+  std::optional<PosRange> new_range;
+  /// When set, the node is no longer an owner of any map entry (its replica
+  /// set collapsed to a surviving peer); it keeps serving drain/report
+  /// traffic but will receive no further data.
+  bool retired = false;
+};
+
+struct RangeResetAckPayload {
+  std::uint64_t epoch = 0;
+};
+
+/// Scheduler -> source: regenerate the deterministic slice of `rel` and
+/// resend the tuples hashing into `ranges` that were already produced,
+/// routed by the current partition map (the kMapUpdate broadcast by the
+/// recovery surgery precedes this request on the FIFO scheduler->source
+/// channel).  The source first flushes its buffers, then adopts `epoch`, so
+/// every pre-replay tuple is either out the door under the old epoch (and
+/// fence-dropped if lost) or re-sent by this replay.  `pause_after` holds
+/// the normal stream paused once the replay completes (probe-phase
+/// recovery: the settle drain needs quiescent sources); the next replay
+/// request with `pause_after == false` releases it.
+struct ReplayRequestPayload {
+  std::uint64_t epoch = 0;
+  RelTag rel = RelTag::kR;
+  std::vector<PosRange> ranges;
+  bool pause_after = false;
+};
+
+struct ReplayDonePayload {
+  std::uint64_t epoch = 0;
+  RelTag rel = RelTag::kR;
+  /// Tuples re-sent by this replay job (not counted in tuples_sent).
+  std::uint64_t tuples_replayed = 0;
+  /// Cumulative per-destination data-chunk counts (normal + replay).
+  std::map<ActorId, std::uint64_t> chunks_to;
+  std::uint64_t chunks_sent_total = 0;
 };
 
 /// Wire size of a data chunk under `schema`.

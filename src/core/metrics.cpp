@@ -21,6 +21,14 @@ std::string RunMetrics::summary() const {
      << "s finish=" << finish_time() << "s split_time=" << split_time
      << "s nodes=" << initial_join_nodes << "->" << final_join_nodes
      << " extra_chunks=" << extra_build_chunks << " matches=" << join.matches;
+  if (failures_injected > 0 || failures_detected > 0) {
+    os << " failures=" << failures_injected << "/" << failures_detected
+       << " detect_lat=" << detection_latency_total
+       << "s recoveries=" << recoveries
+       << " recovery_time=" << recovery_time_total
+       << "s replayed=" << replayed_build_tuples << "+"
+       << replayed_probe_tuples;
+  }
   return os.str();
 }
 

@@ -30,6 +30,9 @@ struct NodeMetrics {
   std::uint64_t spilled_build_tuples = 0;
   std::uint64_t spilled_probe_tuples = 0;
   std::uint64_t spilled_partitions = 0;
+  /// Tuples discarded because they arrived from a dead incarnation (their
+  /// authoritative copies came via source replay).
+  std::uint64_t fence_dropped_tuples = 0;
 };
 
 struct RunMetrics {
@@ -67,6 +70,18 @@ struct RunMetrics {
   /// Node-to-node data chunks during build + reshuffle: the "extra
   /// communication volume" series of Figures 4 and 11.
   std::uint64_t extra_build_chunks = 0;
+
+  // --- failures and recovery (all zero in fault-free runs) ---
+  std::uint32_t failures_injected = 0;   // kills that actually fired
+  std::uint32_t failures_detected = 0;   // deaths the detector declared
+  /// Sum over detected failures of (declaration time - last heartbeat),
+  /// virtual seconds; divide by failures_detected for the mean latency.
+  double detection_latency_total = 0.0;
+  std::uint32_t recoveries = 0;          // recovery passes completed
+  /// Wall (virtual) time from first death of a pass to protocol resumption.
+  double recovery_time_total = 0.0;
+  std::uint64_t replayed_build_tuples = 0;
+  std::uint64_t replayed_probe_tuples = 0;
 
   // --- join output ---
   JoinResult join;

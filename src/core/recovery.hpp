@@ -1,0 +1,141 @@
+// Replica-failover and source-replay recovery (the robustness extension).
+//
+// The paper's protocol assumes fail-free join nodes; this module makes any
+// single (or multiple, including mid-recovery) join-node fail-stop crash
+// survivable without changing the answer.  The key obstacle is that a
+// replica set holds *disjoint temporal shards* -- a frozen member keeps the
+// tuples it stored before the handoff, the fresh replica only receives
+// later ones -- so no surviving member holds the dead member's data and
+// plain promotion would silently lose tuples.  Instead recovery rebuilds
+// from the only authoritative copy that still exists: the data sources'
+// deterministic generators (TupleStream is a pure function of seed and
+// stream position), which regenerate exactly the lost position ranges.
+//
+// Protocol, driven from the scheduler's phase machine (Phase::kRecovery):
+//
+//   death declared            (failure_detector.hpp, scheduler declare_dead)
+//     -> incarnation epoch++  (every data chunk is stamped; see below)
+//     -> map surgery          collapse affected entries to one live owner,
+//                             recruit a pool node or merge into a neighbour
+//                             when none survives
+//     -> kRecoveryFence       to every live join: stale chunks (older
+//                             epoch) drop tuples inside the lost ranges
+//     -> kRangeReset          to affected owners: discard rebuilt ranges,
+//                             unfreeze, maybe regrow or retire
+//     -> all kRangeResetAck   (barrier: no replay before resets applied)
+//     -> kReplayRequest(R)    sources resend lost build tuples
+//     -> all kReplayDone(R)   build-phase recovery resumes the run here;
+//                             probe-phase recovery continues:
+//     -> settle drain         (sources hold paused; replayed build chunks
+//                             must land before re-probing)
+//     -> kReplayRequest(S)    re-probe every tuple of the affected ranges
+//     -> all kReplayDone(S)   resume the probe.
+//
+// Epoch fences.  Chunks in flight at declaration time carry the old epoch;
+// their tuples inside a lost range would duplicate the replay (or land in a
+// discarded table), so receivers filter them out per-tuple.  Dropping is
+// always safe because a fence covers exactly the ranges being replayed.
+//
+// Probe-phase recovery widens every affected entry to full-range treatment
+// (discard all, zero accumulated probe results, replay the whole entry for
+// both relations): matches computed against the partial pre-crash table
+// cannot be told apart from matches the replay will recompute, so the only
+// duplicate-free accounting is to recompute the entry from scratch.
+//
+// A death during an active recovery *folds*: the epoch bumps again, surgery
+// re-runs on the current map, fences/resets go out again and the replay
+// restarts from scratch (sources treat a new request as an overwrite).  All
+// stale acks and dones are rejected by epoch, making the fold idempotent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/expansion_policy.hpp"
+#include "core/messages.hpp"
+#include "hash/hash_family.hpp"
+
+namespace ehja {
+
+/// Scheduler services recovery needs beyond the ExpansionEnv seam.
+class RecoveryHost {
+ public:
+  virtual ~RecoveryHost() = default;
+
+  /// Acquire a live pool node for a replacement join (policy-owned pool);
+  /// nullopt when exhausted (recovery falls back to a neighbour merge).
+  virtual std::optional<NodeId> recruit_node() = 0;
+  /// Run a drain round train while phase == kRecovery; report the result
+  /// back via on_settle_drained().
+  virtual void start_settle_drain() = 0;
+  /// Recovery finished: resume the interrupted phase (`probe_recovery`
+  /// tells the scheduler which side of the run to resume).
+  virtual void recovery_complete(bool probe_recovery) = 0;
+  /// Position-range *hull* ever covered by `actor` (envelope over all maps
+  /// it appeared in); empty range if never an owner.  An over-approximation
+  /// is safe: extra discard is repaired by the matching extra replay.
+  virtual PosRange coverage_of(ActorId actor) const = 0;
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(std::shared_ptr<const EhjaConfig> config, ExpansionEnv& env,
+                  RecoveryHost& host);
+
+  bool active() const { return stage_ != Stage::kIdle; }
+  /// Current incarnation epoch (0 until the first recovery).
+  std::uint64_t epoch() const { return epoch_; }
+  /// Whether the active recovery interrupted the probe phase.
+  bool probe_recovery() const { return probe_; }
+  /// Every join actor ever declared dead.
+  const std::set<ActorId>& dead_actors() const { return dead_; }
+
+  /// `dead` was declared failed while the run was in a probe-side phase
+  /// (`probe_phase`).  Starts a recovery, or folds into the active one.
+  /// The scheduler has already pruned the actor from its live lists.
+  void on_death(ActorId dead, bool probe_phase);
+
+  void on_reset_ack(ActorId from, const RangeResetAckPayload& ack);
+  void on_replay_done(ActorId from, const ReplayDonePayload& done);
+  /// The settle drain requested via RecoveryHost::start_settle_drain ran to
+  /// completion (two stable balanced rounds over the live nodes).
+  void on_settle_drained();
+
+ private:
+  enum class Stage {
+    kIdle,         // no recovery in flight
+    kResetting,    // fences sent, awaiting every kRangeResetAck
+    kBuildReplay,  // awaiting every source's kReplayDone for R
+    kSettleDrain,  // probe recovery: draining replayed build chunks
+    kProbeReplay,  // probe recovery: awaiting every kReplayDone for S
+  };
+
+  /// Rewrite the partition map around the dead set, queue the per-owner
+  /// resets, broadcast fences, and enter kResetting.
+  void run_surgery();
+  void send_replay_requests(RelTag rel, bool pause_after);
+  void start_build_replay();
+  void finish();
+
+  std::shared_ptr<const EhjaConfig> config_;
+  ExpansionEnv& env_;
+  RecoveryHost& host_;
+
+  Stage stage_ = Stage::kIdle;
+  std::uint64_t epoch_ = 0;
+  bool probe_ = false;
+  SimTime started_ = 0.0;
+  std::uint32_t wave_deaths_ = 0;     // deaths folded into this recovery
+  std::set<ActorId> dead_;            // all-time
+  std::vector<PosRange> hulls_;       // lost coverage of this recovery
+  std::vector<PosRange> replay_;      // normalized ranges being replayed
+  std::set<ActorId> pending_resets_;
+  std::set<ActorId> pending_replays_;
+};
+
+}  // namespace ehja

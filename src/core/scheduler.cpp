@@ -11,7 +11,9 @@ namespace ehja {
 
 SchedulerActor::SchedulerActor(std::shared_ptr<const EhjaConfig> config,
                                std::function<ActorId(NodeId)> spawn_join)
-    : config_(std::move(config)), spawn_join_(std::move(spawn_join)) {}
+    : config_(std::move(config)),
+      spawn_join_(std::move(spawn_join)),
+      detector_(config_->ft.heartbeat_timeout_sec) {}
 
 void SchedulerActor::wire(std::vector<ActorId> sources,
                           std::vector<ActorId> initial_joins,
@@ -19,6 +21,9 @@ void SchedulerActor::wire(std::vector<ActorId> sources,
   sources_ = std::move(sources);
   joins_ = std::move(initial_joins);
   policy_ = ExpansionPolicy::make(config_, *this, std::move(pool));
+  recovery_ = std::make_unique<RecoveryManager>(
+      config_, static_cast<ExpansionEnv&>(*this),
+      static_cast<RecoveryHost&>(*this));
   EHJA_CHECK(sources_.size() == config_->data_sources);
   EHJA_CHECK(joins_.size() == config_->initial_join_nodes);
 }
@@ -45,6 +50,13 @@ void SchedulerActor::on_start() {
     map_ = PartitionMap::initial(joins_);
   }
 
+  absorb_coverage();
+  if (config_->recovery_enabled()) {
+    for (ActorId join : joins_) detector_.track(join, Actor::now());
+    defer_after(make_signal(Tag::kHeartbeatTick),
+                config_->ft.heartbeat_interval_sec);
+  }
+
   // Hand every initial join node its bucket...
   for (std::size_t j = 0; j < joins_.size(); ++j) {
     JoinInitPayload init;
@@ -65,6 +77,27 @@ void SchedulerActor::on_start() {
 
 void SchedulerActor::on_message(const Message& msg) {
   charge(config_->cost.control_handle_sec);
+  if (config_->recovery_enabled()) {
+    if (recovery_->dead_actors().count(msg.from) != 0) {
+      return;  // straggler from a declared death: drop wholesale
+    }
+    detector_.heard_from(msg.from, Actor::now());
+    switch (static_cast<Tag>(msg.tag)) {
+      case Tag::kPong:
+        return;  // heard_from above is the whole point
+      case Tag::kHeartbeatTick:
+        handle_heartbeat_tick();
+        return;
+      case Tag::kRangeResetAck:
+        recovery_->on_reset_ack(msg.from, msg.as<RangeResetAckPayload>());
+        return;
+      case Tag::kReplayDone:
+        handle_replay_done(msg.from, msg.as<ReplayDonePayload>());
+        return;
+      default:
+        break;  // the regular protocol below
+    }
+  }
   switch (static_cast<Tag>(msg.tag)) {
     case Tag::kMemoryFull:
       handle_memory_full(msg.from, msg.as<MemoryFullPayload>());
@@ -85,7 +118,7 @@ void SchedulerActor::on_message(const Message& msg) {
       handle_histogram_reply(msg.as<HistogramReplyPayload>());
       break;
     case Tag::kReshuffleDone:
-      handle_reshuffle_done();
+      handle_reshuffle_done(msg.as<ReshuffleDonePayload>());
       break;
     case Tag::kNodeReport:
       handle_node_report(msg.as<NodeReportPayload>());
@@ -99,8 +132,20 @@ void SchedulerActor::on_message(const Message& msg) {
 
 void SchedulerActor::handle_memory_full(ActorId from,
                                         const MemoryFullPayload& payload) {
-  EHJA_CHECK_MSG(phase_ == Phase::kBuild || phase_ == Phase::kBuildDrain,
-                 "memory full outside the build phase");
+  if (!config_->recovery_enabled()) {
+    EHJA_CHECK_MSG(phase_ == Phase::kBuild || phase_ == Phase::kBuildDrain,
+                   "memory full outside the build phase");
+  } else if (phase_ == Phase::kRecovery && recovery_->probe_recovery()) {
+    // A rebuilt owner absorbed more range than fits.  No expansions during
+    // recovery: degrade it to local spilling and let the replay continue.
+    policy_->force_spill(from);
+    return;
+  } else if (phase_ != Phase::kBuild && phase_ != Phase::kBuildDrain &&
+             phase_ != Phase::kRecovery) {
+    EHJA_WARN(name(), "ignoring memory-full from join ", from,
+              " outside the build (replay races the probe start)");
+    return;
+  }
   EHJA_DEBUG(name(), "memory full from join ", from, " (",
              payload.footprint_bytes, " > ", payload.budget_bytes, ")");
   policy_->on_memory_full(from, payload);
@@ -121,6 +166,7 @@ void SchedulerActor::handle_op_complete(const OpCompletePayload& done) {
 ActorId SchedulerActor::spawn_join(NodeId node) {
   const ActorId fresh = spawn_join_(node);
   joins_.push_back(fresh);
+  if (config_->recovery_enabled()) detector_.track(fresh, Actor::now());
   return fresh;
 }
 
@@ -146,6 +192,7 @@ std::uint64_t SchedulerActor::observed_build_tuples() const {
 }
 
 void SchedulerActor::broadcast_map() {
+  absorb_coverage();
   MapUpdatePayload update;
   update.version = ++map_version_;
   update.map = map_;
@@ -155,10 +202,112 @@ void SchedulerActor::broadcast_map() {
   }
 }
 
+// ------------------------------------- failure detection and recovery
+
+void SchedulerActor::absorb_coverage() {
+  for (const auto& entry : map_.entries()) {
+    for (ActorId owner : entry.owners) {
+      auto [it, inserted] = coverage_.try_emplace(owner, entry.range);
+      if (!inserted) {
+        it->second.lo = std::min(it->second.lo, entry.range.lo);
+        it->second.hi = std::max(it->second.hi, entry.range.hi);
+      }
+    }
+  }
+}
+
+PosRange SchedulerActor::coverage_of(ActorId actor) const {
+  const auto it = coverage_.find(actor);
+  return it == coverage_.end() ? PosRange{} : it->second;
+}
+
+void SchedulerActor::handle_heartbeat_tick() {
+  if (phase_ == Phase::kReporting || phase_ == Phase::kDone) {
+    return;  // disarm: every join must answer the report request anyway
+  }
+  const FailureDetector::TickResult result = detector_.tick(Actor::now());
+  for (const FailureDetector::Death& death : result.dead) {
+    declare_dead(death.actor, death.silence_sec);
+  }
+  for (ActorId target : result.ping) {
+    send(target, make_signal(Tag::kPing));
+  }
+  defer_after(make_signal(Tag::kHeartbeatTick),
+              config_->ft.heartbeat_interval_sec);
+}
+
+void SchedulerActor::declare_dead(ActorId dead, double silence_sec) {
+  if (recovery_->dead_actors().count(dead) != 0) return;
+  detector_.untrack(dead);
+  ++metrics_.failures_detected;
+  metrics_.detection_latency_total += silence_sec;
+  trace_event(TraceKind::kFailureDetected, dead,
+              static_cast<std::int64_t>(silence_sec * 1e6));
+  EHJA_WARN(name(), "join actor ", dead, " silent for ", silence_sec,
+            "s: declared dead");
+  joins_.erase(std::remove(joins_.begin(), joins_.end(), dead), joins_.end());
+  policy_->on_actor_dead(dead);
+  // Whether the run was on the probe side decides the recovery flavour
+  // (and must be pinned before the phase flips to kRecovery).
+  const bool probe_side =
+      phase_ == Phase::kProbe || phase_ == Phase::kProbeDrain ||
+      (phase_ == Phase::kRecovery && recovery_->probe_recovery());
+  // Membership changed under whatever drain or reshuffle was in flight.
+  drain_.abort();
+  if (phase_ == Phase::kReshuffle || phase_ == Phase::kReshuffleDrain) {
+    reshuffle_sets_.clear();
+    reshuffle_pending_replies_ = 0;
+    reshuffle_pending_done_ = 0;
+    ++reshuffle_round_;  // stragglers of the aborted attempt become stale
+  }
+  phase_ = Phase::kRecovery;
+  recovery_->on_death(dead, probe_side);
+}
+
+void SchedulerActor::handle_replay_done(ActorId from,
+                                        const ReplayDonePayload& done) {
+  source_chunks_to_[from] = done.chunks_to;
+  recovery_->on_replay_done(from, done);
+}
+
+void SchedulerActor::start_settle_drain() {
+  drain_.arm();
+  start_drain_round();
+}
+
+void SchedulerActor::recovery_complete(bool probe_recovery) {
+  EHJA_CHECK(phase_ == Phase::kRecovery);
+  if (probe_recovery) {
+    phase_ = Phase::kProbe;
+    trace_event(TraceKind::kPhase, 0, 0, "probe_resume");
+    if (sources_done_probe_ == config_->data_sources) {
+      phase_ = Phase::kProbeDrain;
+      drain_.arm();
+      start_drain_round();
+    }
+  } else {
+    phase_ = Phase::kBuild;
+    trace_event(TraceKind::kPhase, 0, 0, "build_resume");
+    policy_->kick();  // restart expansions queued during the recovery
+    maybe_start_build_drain();
+  }
+}
+
+std::uint64_t SchedulerActor::expected_live_chunks() const {
+  std::uint64_t expected = 0;
+  for (const auto& [source, dests] : source_chunks_to_) {
+    for (const auto& [dest, chunks] : dests) {
+      if (recovery_->dead_actors().count(dest) == 0) expected += chunks;
+    }
+  }
+  return expected;
+}
+
 // ------------------------------------------------------------ phase change
 
 void SchedulerActor::handle_source_done(ActorId from,
                                         const SourceDonePayload& done) {
+  if (config_->recovery_enabled()) source_chunks_to_[from] = done.chunks_to;
   if (done.rel == config_->build_rel.tag) {
     ++sources_done_build_;
     source_chunks_build_ += done.chunks_sent;
@@ -170,10 +319,16 @@ void SchedulerActor::handle_source_done(ActorId from,
     source_chunks_probe_ += done.chunks_sent;
     source_tuples_probe_ += done.tuples_sent;
     if (sources_done_probe_ == config_->data_sources) {
-      EHJA_CHECK(phase_ == Phase::kProbe);
-      phase_ = Phase::kProbeDrain;
-      drain_.arm();
-      start_drain_round();
+      if (phase_ == Phase::kProbe) {
+        phase_ = Phase::kProbeDrain;
+        drain_.arm();
+        start_drain_round();
+      } else {
+        // A source resumed by a replay can finish mid-recovery; the probe
+        // drain then starts from recovery_complete() instead.
+        EHJA_CHECK_MSG(phase_ == Phase::kRecovery,
+                       "probe sources done in unexpected phase");
+      }
     }
   }
 }
@@ -208,13 +363,31 @@ void SchedulerActor::start_drain_round() {
   }
 }
 
-void SchedulerActor::handle_drain_ack(ActorId /*from*/,
+void SchedulerActor::handle_drain_ack(ActorId from,
                                       const DrainAckPayload& ack) {
   if (phase_ != Phase::kBuildDrain && phase_ != Phase::kReshuffleDrain &&
-      phase_ != Phase::kProbeDrain) {
+      phase_ != Phase::kProbeDrain && phase_ != Phase::kRecovery) {
     return;  // round aborted by an expansion
   }
-  switch (drain_.on_ack(ack, joins_.size(), expected_source_chunks())) {
+  DrainProtocol::Outcome outcome;
+  if (config_->recovery_enabled()) {
+    // Reduce the per-pair counters over live nodes only: chunks addressed
+    // to (or forwarded by) a dead node can never balance.
+    const auto& dead = recovery_->dead_actors();
+    DrainAckPayload live;
+    live.epoch = ack.epoch;
+    for (const auto& [sender, chunks] : ack.received_from) {
+      if (dead.count(sender) == 0) live.data_chunks_received += chunks;
+    }
+    for (const auto& [dest, chunks] : ack.forwarded_to) {
+      if (dead.count(dest) == 0) live.data_chunks_forwarded += chunks;
+    }
+    outcome = drain_.on_ack(from, live, joins_.size(), expected_live_chunks());
+  } else {
+    outcome =
+        drain_.on_ack(from, ack, joins_.size(), expected_source_chunks());
+  }
+  switch (outcome) {
     case DrainProtocol::Outcome::kStale:
     case DrainProtocol::Outcome::kPending:
       break;
@@ -244,6 +417,9 @@ void SchedulerActor::on_drained() {
       for (ActorId join : joins_) {
         send(join, make_signal(Tag::kReportRequest));
       }
+      break;
+    case Phase::kRecovery:
+      recovery_->on_settle_drained();
       break;
     default:
       EHJA_CHECK_MSG(false, "drained in unexpected phase");
@@ -289,6 +465,7 @@ void SchedulerActor::start_reshuffle() {
     HistogramRequestPayload req;
     req.set_id = i;
     req.bins = config_->reshuffle_bins;
+    req.round = reshuffle_round_;
     for (ActorId member : entry.owners) {
       send(member, make_message(Tag::kHistogramRequest, req,
                                 kControlWireBytes));
@@ -306,6 +483,7 @@ void SchedulerActor::start_reshuffle() {
 
 void SchedulerActor::handle_histogram_reply(
     const HistogramReplyPayload& reply) {
+  if (reply.round != reshuffle_round_) return;  // aborted attempt
   EHJA_CHECK(phase_ == Phase::kReshuffle);
   auto it = reshuffle_sets_.find(reply.set_id);
   EHJA_CHECK(it != reshuffle_sets_.end());
@@ -340,6 +518,7 @@ void SchedulerActor::dispatch_reshuffle_moves() {
         plan_reshuffle(*set.merged, set.members);
     ReshuffleMovePayload move;
     move.plan = plan;
+    move.round = reshuffle_round_;
     const std::size_t wire = 32 + 24 * plan.size();
     for (ActorId member : set.members) {
       send(member, make_message(Tag::kReshuffleMove, move, wire));
@@ -349,9 +528,11 @@ void SchedulerActor::dispatch_reshuffle_moves() {
   }
   map_ = PartitionMap::from_entries(std::move(entries));
   ++map_version_;
+  absorb_coverage();
 }
 
-void SchedulerActor::handle_reshuffle_done() {
+void SchedulerActor::handle_reshuffle_done(const ReshuffleDonePayload& done) {
+  if (done.round != reshuffle_round_) return;  // aborted attempt
   EHJA_CHECK(phase_ == Phase::kReshuffle);
   EHJA_CHECK(reshuffle_pending_done_ > 0);
   if (--reshuffle_pending_done_ > 0) return;
@@ -397,7 +578,12 @@ void SchedulerActor::handle_node_report(const NodeReportPayload& report) {
   EHJA_CHECK_MSG(metrics_.build_tuples_total == source_tuples_build_,
                  "build tuples lost or duplicated");
   // Probe tuples may be duplicated (replication broadcast), never lost.
-  EHJA_CHECK(metrics_.probe_tuples_total >= source_tuples_probe_);
+  // source_tuples_probe_ counts *deliveries* (one per fanned-out copy), so
+  // after a probe-phase recovery the bound no longer holds: a collapsed
+  // entry's dead and retired replicas received deliveries the source counted
+  // that are deliberately not re-sent to the single surviving owner.
+  EHJA_CHECK(metrics_.failures_detected > 0 ||
+             metrics_.probe_tuples_total >= source_tuples_probe_);
   phase_ = Phase::kDone;
   trace_event(TraceKind::kPhase, 0, 0, "done");
   EHJA_INFO(name(), "done: ", metrics_.summary());

@@ -19,6 +19,15 @@
 //
 // An expansion op starting mid-build-drain aborts the drain (the policy
 // asks via ExpansionEnv::expansion_starting()); op completion retries.
+//
+// When recovery is enabled (EhjaConfig::recovery_enabled) the scheduler
+// additionally runs a heartbeat failure detector off a self-timer
+// (kHeartbeatTick / core/failure_detector.hpp); a declared death aborts
+// whatever drain or reshuffle is in flight, moves the machine to
+// Phase::kRecovery and hands control to the RecoveryManager
+// (core/recovery.hpp), which drives fences, range resets and source replay
+// through the same ExpansionEnv seam the policies use, then resumes the
+// interrupted phase.  The detector disarms once reporting starts.
 #pragma once
 
 #include <cstdint>
@@ -32,14 +41,18 @@
 #include "core/config.hpp"
 #include "core/drain.hpp"
 #include "core/expansion_policy.hpp"
+#include "core/failure_detector.hpp"
 #include "core/messages.hpp"
 #include "core/metrics.hpp"
+#include "core/recovery.hpp"
 #include "hash/partition_map.hpp"
 #include "runtime/actor.hpp"
 
 namespace ehja {
 
-class SchedulerActor final : public Actor, private ExpansionEnv {
+class SchedulerActor final : public Actor,
+                             private ExpansionEnv,
+                             private RecoveryHost {
  public:
   /// `spawn_join` instantiates a fresh join process on a given node and
   /// returns its actor id (the driver wires it to the runtime).
@@ -68,11 +81,12 @@ class SchedulerActor final : public Actor, private ExpansionEnv {
     kReshuffleDrain,
     kProbe,
     kProbeDrain,
+    kRecovery,  // node death declared; RecoveryManager drives the protocol
     kReporting,
     kDone,
   };
 
-  // --- ExpansionEnv (the policy's view of the scheduler) ---
+  // --- ExpansionEnv (the policy's and recovery's view of the scheduler) ---
   PartitionMap& map() override { return map_; }
   RunMetrics& metrics() override { return metrics_; }
   ActorId spawn_join(NodeId node) override;
@@ -84,6 +98,19 @@ class SchedulerActor final : public Actor, private ExpansionEnv {
   void trace(TraceKind kind, std::int64_t a, std::int64_t b) override {
     trace_event(kind, a, b);
   }
+  const std::vector<ActorId>& join_actors() const override { return joins_; }
+  const std::vector<ActorId>& source_actors() const override {
+    return sources_;
+  }
+  bool node_alive(NodeId node) const override { return rt().node_alive(node); }
+
+  // --- RecoveryHost (recovery's scheduler-side services) ---
+  std::optional<NodeId> recruit_node() override {
+    return policy_->acquire_node();
+  }
+  void start_settle_drain() override;
+  void recovery_complete(bool probe_recovery) override;
+  PosRange coverage_of(ActorId actor) const override;
 
   void handle_memory_full(ActorId from, const MemoryFullPayload& payload);
   void handle_op_complete(const OpCompletePayload& done);
@@ -98,10 +125,20 @@ class SchedulerActor final : public Actor, private ExpansionEnv {
   void start_reshuffle();
   void handle_histogram_reply(const HistogramReplyPayload& reply);
   void dispatch_reshuffle_moves();
-  void handle_reshuffle_done();
+  void handle_reshuffle_done(const ReshuffleDonePayload& done);
   void start_probe();
   void handle_node_report(const NodeReportPayload& report);
   std::uint64_t expected_source_chunks() const;
+  // --- failure detection and recovery ---
+  void handle_heartbeat_tick();
+  void handle_replay_done(ActorId from, const ReplayDonePayload& done);
+  void declare_dead(ActorId dead, double silence_sec);
+  /// Fold the current map's ownership into the per-actor coverage hulls
+  /// (RecoveryHost::coverage_of); called at every map change.
+  void absorb_coverage();
+  /// Drain balance over live nodes only: source chunks addressed to dead
+  /// nodes can never be received (recovery-enabled runs).
+  std::uint64_t expected_live_chunks() const;
   void trace_event(TraceKind kind, std::int64_t a = 0, std::int64_t b = 0,
                    std::string detail = {}) {
     if (config_->trace != nullptr) {
@@ -141,6 +178,20 @@ class SchedulerActor final : public Actor, private ExpansionEnv {
   std::map<std::uint64_t, ReshuffleSet> reshuffle_sets_;  // key: entry index
   std::uint32_t reshuffle_pending_replies_ = 0;
   std::uint32_t reshuffle_pending_done_ = 0;
+  /// Reshuffle attempt number; a recovery aborts and re-runs the
+  /// reshuffle, and the stamp lets stragglers of the old attempt be
+  /// dropped (stays 0 in fault-free runs).
+  std::uint32_t reshuffle_round_ = 0;
+
+  // failure detection and recovery (recovery_enabled() runs only)
+  FailureDetector detector_;
+  std::unique_ptr<RecoveryManager> recovery_;  // set by wire()
+  /// Envelope of every range each join actor ever owned (over-approximate
+  /// lost data on its death; see RecoveryHost::coverage_of).
+  std::map<ActorId, PosRange> coverage_;
+  /// Latest per-destination cumulative data-chunk counts per source (from
+  /// kSourceDone / kReplayDone), for the live-nodes-only drain balance.
+  std::map<ActorId, std::map<ActorId, std::uint64_t>> source_chunks_to_;
 
   // completion
   std::uint32_t reports_pending_ = 0;

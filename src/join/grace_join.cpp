@@ -185,6 +185,33 @@ double HybridHashSpiller::finish(JoinResult& acc) {
   return seconds;
 }
 
+double HybridHashSpiller::extract_all(std::vector<Tuple>& build_out,
+                                      std::vector<Tuple>& probe_out) {
+  EHJA_CHECK(!finished_);
+  double seconds = 0.0;
+  for (Partition& part : partitions_) {
+    if (part.mem_tuples > 0) {
+      std::vector<Tuple> mem = table_.extract_range(part.range);
+      EHJA_CHECK(mem.size() == part.mem_tuples);
+      part.mem_tuples = 0;
+      build_out.insert(build_out.end(), mem.begin(), mem.end());
+    }
+    if (part.spilled) {
+      seconds += part.r_file->flush() + part.s_file->flush();
+      seconds += part.r_file->scan_all() + part.s_file->scan_all();
+      build_out.insert(build_out.end(), part.r_tuples.begin(),
+                       part.r_tuples.end());
+      probe_out.insert(probe_out.end(), part.s_tuples.begin(),
+                       part.s_tuples.end());
+      part.r_tuples.clear();
+      part.s_tuples.clear();
+      part.spilled = false;
+    }
+  }
+  build_tuples_ = 0;
+  return seconds;
+}
+
 std::uint64_t HybridHashSpiller::spilled_build_tuples() const {
   std::uint64_t n = 0;
   for (const Partition& p : partitions_) n += p.r_tuples.size();

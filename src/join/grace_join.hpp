@@ -62,6 +62,14 @@ class HybridHashSpiller {
   /// streams end.
   double finish(JoinResult& acc);
 
+  /// Drain every build tuple (in memory and on disk) and every deferred
+  /// spilled probe tuple, leaving the spiller empty; returns the seconds
+  /// consumed (disk scans of the spilled partitions).  The recovery
+  /// range-reset uses this to rebuild a node's state minus the discarded
+  /// ranges; the caller re-adds the survivors to a fresh spiller.
+  double extract_all(std::vector<Tuple>& build_out,
+                     std::vector<Tuple>& probe_out);
+
   // --- observability ---
   std::uint64_t build_tuples() const { return build_tuples_; }
   std::uint64_t spilled_build_tuples() const;

@@ -7,7 +7,7 @@
 namespace ehja {
 
 NetworkModel::NetworkModel(std::size_t node_count, LinkConfig config)
-    : config_(config) {
+    : config_(config), fault_rng_(config.fault_seed) {
   EHJA_CHECK(node_count > 0);
   EHJA_CHECK(config_.bandwidth_bytes_per_sec > 0);
   tx_free_.assign(node_count, 0.0);
@@ -46,7 +46,29 @@ NetworkModel::Delivery NetworkModel::plan(NodeId src, NodeId dst,
   tx = end;
   rx = end;
   if (config_.topology == Topology::kSharedBus) bus_free_ = end;
-  return Delivery{end, end + config_.latency_sec};
+  return Delivery{end, end + config_.latency_sec + fault_delay()};
+}
+
+SimTime NetworkModel::fault_delay() {
+  SimTime extra = 0.0;
+  if (config_.fault_jitter_sec > 0.0) {
+    extra += fault_rng_.next_double() * config_.fault_jitter_sec;
+  }
+  if (config_.fault_drop_prob > 0.0) {
+    // Drop-with-redelivery: each lost transmission costs one RTO (plus its
+    // own jitter); the payload always arrives eventually.  Cap the geometric
+    // tail so a drop probability of ~1 cannot livelock planning.
+    int lost = 0;
+    while (lost < 16 && fault_rng_.next_double() < config_.fault_drop_prob) {
+      ++lost;
+      extra += config_.fault_rto_sec;
+      if (config_.fault_jitter_sec > 0.0) {
+        extra += fault_rng_.next_double() * config_.fault_jitter_sec;
+      }
+    }
+    stats_.retransmits += static_cast<std::uint64_t>(lost);
+  }
+  return extra;
 }
 
 SimTime NetworkModel::tx_free(NodeId node) const {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace ehja {
 
@@ -48,11 +49,29 @@ struct LinkConfig {
   /// Cost of a node sending to itself (memcpy through loopback), seconds
   /// per byte; latency does not apply.
   double loopback_sec_per_byte = 1.0 / 400e6;
+
+  /// --- fault injection (both default off; when off, plan() consumes no
+  /// randomness and the model stays bit-identical to the fault-free one) ---
+  /// Uniform extra delivery delay in [0, fault_jitter_sec) per message.
+  double fault_jitter_sec = 0.0;
+  /// Per-message probability that the first transmission is lost and the
+  /// message is *redelivered* after fault_rto_sec (modelling TCP
+  /// retransmission, not actual loss: live-node messages always arrive, so
+  /// the join protocol's invariants survive -- only timing degrades).  Note
+  /// that jitter/redelivery break the per-pair FIFO guarantee documented
+  /// above; the recovery protocol's epoch fences are what make the system
+  /// tolerate that.
+  double fault_drop_prob = 0.0;
+  /// Retransmission timeout charged per lost transmission.
+  double fault_rto_sec = 2e-3;
+  /// Seed for the fault RNG (the driver XORs in the run seed).
+  std::uint64_t fault_seed = 0x600dcafe;
 };
 
 struct NetworkStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t retransmits = 0;  // injected drop-and-redeliver events
   std::vector<std::uint64_t> tx_bytes;  // per node
   std::vector<std::uint64_t> rx_bytes;  // per node
 };
@@ -96,11 +115,16 @@ class NetworkModel {
   const NetworkStats& stats() const { return stats_; }
 
  private:
+  /// Extra delivery delay (jitter + retransmissions) for one message.
+  /// Consumes RNG draws only when the corresponding knob is enabled.
+  SimTime fault_delay();
+
   LinkConfig config_;
   std::vector<SimTime> tx_free_;
   std::vector<SimTime> rx_free_;
   SimTime bus_free_ = 0.0;  // shared-bus topology only
   NetworkStats stats_;
+  SplitMix64 fault_rng_;
 };
 
 }  // namespace ehja

@@ -50,6 +50,7 @@ class Actor {
   }
   void send(ActorId to, Message msg);
   void defer(Message msg);
+  void defer_after(Message msg, double delay_sec);
   void charge(double cpu_seconds);
   SimTime now() const;
 
@@ -82,6 +83,25 @@ class Runtime {
   virtual void charge(Actor& from, double cpu_seconds) = 0;
   virtual SimTime actor_now(const Actor& actor) const = 0;
 
+  /// Deliver `msg` back to `from` after `delay_sec` (heartbeat and other
+  /// self-timers).  The base default degrades to an immediate defer(), which
+  /// is only acceptable for runtimes that never host timed protocols.
+  virtual void defer_after(Actor& from, Message msg, double /*delay_sec*/) {
+    defer(from, std::move(msg));
+  }
+
+  /// --- fault injection (fail-stop node crashes) ---
+  /// Crash every actor on `node` now: their handlers stop running and all
+  /// messages to or from the node are silently discarded from this point on.
+  virtual void kill_node(NodeId /*node*/) {}
+  /// Crash `node` at time `at` (virtual seconds under the DES, wall seconds
+  /// after run() under threads).  Legal before run().
+  virtual void schedule_kill(NodeId /*node*/, double /*at*/) {}
+  virtual bool node_alive(NodeId /*node*/) const { return true; }
+  /// Kills that actually fired (a kill scheduled after the run drained the
+  /// event queue never executes).
+  virtual std::uint32_t kills_executed() const { return 0; }
+
   /// Drive to completion: the DES runs the event queue dry; the thread
   /// runtime blocks until request_stop().
   virtual void run() = 0;
@@ -102,6 +122,11 @@ inline void Actor::send(ActorId to, Message msg) {
 inline void Actor::defer(Message msg) {
   msg.from = id_;
   rt().defer(*this, std::move(msg));
+}
+
+inline void Actor::defer_after(Message msg, double delay_sec) {
+  msg.from = id_;
+  rt().defer_after(*this, std::move(msg), delay_sec);
 }
 
 inline void Actor::charge(double cpu_seconds) { rt().charge(*this, cpu_seconds); }

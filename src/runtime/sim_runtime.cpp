@@ -10,7 +10,8 @@ namespace ehja {
 SimRuntime::SimRuntime(ClusterSpec spec)
     : spec_(std::move(spec)),
       network_(spec_.node_count(), spec_.link),
-      node_busy_until_(spec_.node_count(), 0.0) {}
+      node_busy_until_(spec_.node_count(), 0.0),
+      node_dead_(spec_.node_count(), 0) {}
 
 ActorId SimRuntime::spawn(NodeId node, std::unique_ptr<Actor> actor) {
   EHJA_CHECK(node >= 0 && static_cast<std::size_t>(node) < spec_.node_count());
@@ -45,26 +46,60 @@ void SimRuntime::send(Actor& from, ActorId to, Message msg) {
   if (executing_ == &from) {
     exec_time_ = std::max(exec_time_, plan.tx_done);
   }
-  deliver(to, std::move(msg), plan.arrival);
+  deliver(to, std::move(msg), plan.arrival, src);
 }
 
 void SimRuntime::defer(Actor& from, Message msg) {
   const SimTime ready = executing_ != nullptr ? exec_time_ : sim_.now();
-  deliver(from.id(), std::move(msg), ready);
+  deliver(from.id(), std::move(msg), ready, from.node());
 }
 
-void SimRuntime::deliver(ActorId to, Message msg, SimTime arrival) {
+void SimRuntime::defer_after(Actor& from, Message msg, double delay_sec) {
+  EHJA_CHECK(delay_sec >= 0.0);
+  const SimTime ready = executing_ != nullptr ? exec_time_ : sim_.now();
+  msg.from = from.id();
+  deliver(from.id(), std::move(msg), ready + delay_sec, from.node());
+}
+
+void SimRuntime::deliver(ActorId to, Message msg, SimTime arrival,
+                         NodeId src_node) {
   Actor* target = actors_[static_cast<std::size_t>(to)].get();
   auto shared = std::make_shared<Message>(std::move(msg));
-  sim_.schedule_at(arrival, [this, target, shared, arrival] {
+  sim_.schedule_at(arrival, [this, target, shared, arrival, src_node] {
+    // Fail-stop check at delivery time: a message in flight when either
+    // endpoint died is lost with the machine.
+    if (node_dead_[static_cast<std::size_t>(target->node())]) return;
+    if (src_node >= 0 && node_dead_[static_cast<std::size_t>(src_node)]) {
+      return;
+    }
     execute(*target, arrival,
             [target, shared] { target->on_message(*shared); });
   });
 }
 
+void SimRuntime::kill_node(NodeId node) {
+  EHJA_CHECK(node >= 0 && static_cast<std::size_t>(node) < spec_.node_count());
+  char& dead = node_dead_[static_cast<std::size_t>(node)];
+  if (dead) return;
+  dead = 1;
+  ++kills_executed_;
+}
+
+void SimRuntime::schedule_kill(NodeId node, double at) {
+  EHJA_CHECK(node >= 0 && static_cast<std::size_t>(node) < spec_.node_count());
+  EHJA_CHECK(at >= sim_.now());
+  sim_.schedule_at(at, [this, node] { kill_node(node); });
+}
+
+bool SimRuntime::node_alive(NodeId node) const {
+  EHJA_CHECK(node >= 0 && static_cast<std::size_t>(node) < spec_.node_count());
+  return !node_dead_[static_cast<std::size_t>(node)];
+}
+
 void SimRuntime::execute(Actor& target, SimTime ready,
                          const std::function<void()>& body) {
   if (stopped_) return;
+  if (node_dead_[static_cast<std::size_t>(target.node())]) return;
   EHJA_CHECK_MSG(executing_ == nullptr, "re-entrant handler execution");
   SimTime& busy = node_busy_until_[static_cast<std::size_t>(target.node())];
   executing_ = &target;

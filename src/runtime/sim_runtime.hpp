@@ -32,6 +32,11 @@ class SimRuntime final : public Runtime {
   void defer(Actor& from, Message msg) override;
   void charge(Actor& from, double cpu_seconds) override;
   SimTime actor_now(const Actor& actor) const override;
+  void defer_after(Actor& from, Message msg, double delay_sec) override;
+  void kill_node(NodeId node) override;
+  void schedule_kill(NodeId node, double at) override;
+  bool node_alive(NodeId node) const override;
+  std::uint32_t kills_executed() const override { return kills_executed_; }
   void run() override;
   void request_stop() override;
   const ClusterSpec& cluster() const override { return spec_; }
@@ -48,7 +53,7 @@ class SimRuntime final : public Runtime {
   static constexpr double kSpawnLatencySec = 5e-3;
 
  private:
-  void deliver(ActorId to, Message msg, SimTime arrival);
+  void deliver(ActorId to, Message msg, SimTime arrival, NodeId src_node);
   void execute(Actor& target, SimTime ready,
                const std::function<void()>& body);
 
@@ -57,6 +62,11 @@ class SimRuntime final : public Runtime {
   NetworkModel network_;
   std::vector<std::unique_ptr<Actor>> actors_;
   std::vector<SimTime> node_busy_until_;
+  /// Fail-stop flags: a dead node executes no handlers, and messages whose
+  /// sender or receiver node is dead vanish at delivery time (the wire and
+  /// kernel buffers died with the machine).
+  std::vector<char> node_dead_;
+  std::uint32_t kills_executed_ = 0;
   Actor* executing_ = nullptr;
   SimTime exec_time_ = 0.0;
   bool stopped_ = false;

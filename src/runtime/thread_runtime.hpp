@@ -17,6 +17,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -37,6 +38,13 @@ class ThreadRuntime final : public Runtime {
   void defer(Actor& from, Message msg) override;
   void charge(Actor& from, double cpu_seconds) override;
   SimTime actor_now(const Actor& actor) const override;
+  void defer_after(Actor& from, Message msg, double delay_sec) override;
+  void kill_node(NodeId node) override;
+  void schedule_kill(NodeId node, double at) override;
+  bool node_alive(NodeId node) const override;
+  std::uint32_t kills_executed() const override {
+    return kills_executed_.load(std::memory_order_acquire);
+  }
   void run() override;
   void request_stop() override;
   const ClusterSpec& cluster() const override { return spec_; }
@@ -52,9 +60,22 @@ class ThreadRuntime final : public Runtime {
     std::thread thread;
   };
 
+  /// One pending timer-thread action (a delayed self-message or a scheduled
+  /// kill).  Kept in a sorted min-heap keyed by (when, seq).
+  struct TimerTask {
+    std::chrono::steady_clock::time_point when;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+
   void actor_main(Cell& cell);
   void start_thread(Cell& cell);
   void join_all();
+  void timer_main();
+  void enqueue_timer(std::chrono::steady_clock::time_point when,
+                     std::function<void()> fn);
+  /// Mailbox push without a live sender reference (timer-thread delivery).
+  void deliver_direct(ActorId to, const Message& msg);
 
   ClusterSpec spec_;
   mutable std::mutex registry_mutex_;
@@ -64,6 +85,20 @@ class ThreadRuntime final : public Runtime {
   std::mutex stop_mutex_;
   std::condition_variable stop_cv_;
   std::chrono::steady_clock::time_point epoch_;
+
+  /// Fail-stop flags, one per node (fixed size: nodes never appear at
+  /// runtime).  A dead node's actor threads exit, and send()/delivery drops
+  /// messages touching the node.
+  std::unique_ptr<std::atomic<bool>[]> node_dead_;
+  std::atomic<std::uint32_t> kills_executed_{0};
+
+  /// Timer thread: fires defer_after() self-messages and scheduled kills.
+  /// Started by run(); stopped and joined with the actor threads.
+  std::mutex timer_mutex_;
+  std::condition_variable timer_cv_;
+  std::vector<TimerTask> timer_heap_;
+  std::uint64_t timer_seq_ = 0;
+  std::thread timer_thread_;
 };
 
 }  // namespace ehja

@@ -14,6 +14,10 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kMemSample: return "mem_sample";
     case TraceKind::kDrainRound: return "drain_round";
     case TraceKind::kAdaptiveChoice: return "adaptive_choice";
+    case TraceKind::kFailureDetected: return "failure_detected";
+    case TraceKind::kRecoveryStart: return "recovery_start";
+    case TraceKind::kRecoveryDone: return "recovery_done";
+    case TraceKind::kReplay: return "replay";
   }
   return "?";
 }

@@ -31,6 +31,10 @@ enum class TraceKind : std::uint8_t {
   kMemSample,   // a = actor, b = footprint bytes
   kDrainRound,  // a = epoch, b = received total
   kAdaptiveChoice,  // a = actor, b = 1 split / 0 replicate
+  kFailureDetected,  // a = dead actor, b = silence in microseconds
+  kRecoveryStart,    // a = recovery epoch, b = dead actors so far
+  kRecoveryDone,     // a = recovery epoch, b = duration in microseconds
+  kReplay,           // a = source actor, b = tuples replayed
 };
 
 const char* trace_kind_name(TraceKind kind);

@@ -8,6 +8,7 @@
 
 #include <deque>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "cluster/cluster_spec.hpp"
@@ -47,6 +48,24 @@ class HarnessRuntime final : public Runtime {
   }
 
   SimTime actor_now(const Actor& /*actor*/) const override { return now_; }
+
+  /// Timed self-messages land in a *separate* queue so flush_round() cannot
+  /// spin forever on a self-rearming heartbeat; tests fire them explicitly
+  /// with fire_timers().
+  void defer_after(Actor& from, Message msg, double delay_sec) override {
+    msg.from = from.id();
+    timers_.push_back(Sent{from.id(), from.id(), std::move(msg)});
+    last_timer_delay_ = delay_sec;
+  }
+
+  void kill_node(NodeId node) override {
+    if (dead_nodes_.insert(node).second) ++kills_;
+  }
+  void schedule_kill(NodeId node, double /*at*/) override { kill_node(node); }
+  bool node_alive(NodeId node) const override {
+    return dead_nodes_.count(node) == 0;
+  }
+  std::uint32_t kills_executed() const override { return kills_; }
 
   void run() override {}
   void request_stop() override { stopped_ = true; }
@@ -102,6 +121,22 @@ class HarnessRuntime final : public Runtime {
     return out;
   }
 
+  /// Deliver every queued timed self-message (one batch; messages the
+  /// firing handlers re-arm stay queued for the next call).
+  std::size_t fire_timers() {
+    std::deque<Sent> batch;
+    batch.swap(timers_);
+    for (Sent& sent : batch) {
+      Message msg = std::move(sent.msg);
+      msg.from = sent.from;
+      actor(sent.to).on_message(msg);
+    }
+    return batch.size();
+  }
+
+  std::deque<Sent>& timers() { return timers_; }
+  double last_timer_delay() const { return last_timer_delay_; }
+
   void advance_time(SimTime dt) { now_ += dt; }
   double charged() const { return charged_; }
   bool stopped() const { return stopped_; }
@@ -114,6 +149,10 @@ class HarnessRuntime final : public Runtime {
   std::vector<std::unique_ptr<Actor>> actors_;
   std::vector<NodeId> spawned_nodes_;
   std::deque<Sent> outbox_;
+  std::deque<Sent> timers_;
+  std::set<NodeId> dead_nodes_;
+  std::uint32_t kills_ = 0;
+  double last_timer_delay_ = 0.0;
   SimTime now_ = 0.0;
   double charged_ = 0.0;
   bool stopped_ = false;

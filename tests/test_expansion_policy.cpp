@@ -52,6 +52,15 @@ struct FakeEnv final : public ExpansionEnv {
   void trace(TraceKind kind, std::int64_t a, std::int64_t b) override {
     traces.push_back({kind, {a, b}});
   }
+  std::vector<ActorId> join_list{1, 2, 3, 4};
+  std::vector<ActorId> source_list;
+  const std::vector<ActorId>& join_actors() const override {
+    return join_list;
+  }
+  const std::vector<ActorId>& source_actors() const override {
+    return source_list;
+  }
+  bool node_alive(NodeId /*node*/) const override { return true; }
 
   std::vector<Sent> with_tag(Tag tag) const {
     std::vector<Sent> out;
@@ -353,14 +362,14 @@ TEST(DrainProtocolTest, NeedsTwoConsecutiveBalancedRounds) {
 
   const auto p1 = drain.begin_round();
   EXPECT_TRUE(drain.in_round());
-  EXPECT_EQ(drain.on_ack(ack(p1.epoch, 6), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(1, ack(p1.epoch, 6), 2, 10), Outcome::kPending);
   // Balanced (6 + 4 == 10) but no previous round to compare against.
-  EXPECT_EQ(drain.on_ack(ack(p1.epoch, 4), 2, 10), Outcome::kRepoll);
+  EXPECT_EQ(drain.on_ack(2, ack(p1.epoch, 4), 2, 10), Outcome::kRepoll);
 
   const auto p2 = drain.begin_round();
   EXPECT_GT(p2.epoch, p1.epoch);
-  EXPECT_EQ(drain.on_ack(ack(p2.epoch, 6), 2, 10), Outcome::kPending);
-  EXPECT_EQ(drain.on_ack(ack(p2.epoch, 4), 2, 10), Outcome::kDrained);
+  EXPECT_EQ(drain.on_ack(1, ack(p2.epoch, 6), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(2, ack(p2.epoch, 4), 2, 10), Outcome::kDrained);
   EXPECT_FALSE(drain.in_round());
 }
 
@@ -370,18 +379,18 @@ TEST(DrainProtocolTest, UnbalancedRoundsKeepRepolling) {
 
   // 9 of 10 chunks accounted for: in flight somewhere.
   auto p = drain.begin_round();
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 5), 2, 10), Outcome::kPending);
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 4), 2, 10), Outcome::kRepoll);
+  EXPECT_EQ(drain.on_ack(1, ack(p.epoch, 5), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(2, ack(p.epoch, 4), 2, 10), Outcome::kRepoll);
 
   // Balanced now, but the totals moved since the last round.
   p = drain.begin_round();
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 6), 2, 10), Outcome::kPending);
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 4), 2, 10), Outcome::kRepoll);
+  EXPECT_EQ(drain.on_ack(1, ack(p.epoch, 6), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(2, ack(p.epoch, 4), 2, 10), Outcome::kRepoll);
 
   // Stable and balanced: drained.
   p = drain.begin_round();
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 6), 2, 10), Outcome::kPending);
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 4), 2, 10), Outcome::kDrained);
+  EXPECT_EQ(drain.on_ack(1, ack(p.epoch, 6), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(2, ack(p.epoch, 4), 2, 10), Outcome::kDrained);
 }
 
 TEST(DrainProtocolTest, ForwardedChunksBalanceTheEquation) {
@@ -391,8 +400,8 @@ TEST(DrainProtocolTest, ForwardedChunksBalanceTheEquation) {
   // legitimately count 14.
   for (int round = 0; round < 2; ++round) {
     const auto p = drain.begin_round();
-    EXPECT_EQ(drain.on_ack(ack(p.epoch, 8, 2), 2, 10), Outcome::kPending);
-    const auto outcome = drain.on_ack(ack(p.epoch, 6, 2), 2, 10);
+    EXPECT_EQ(drain.on_ack(1, ack(p.epoch, 8, 2), 2, 10), Outcome::kPending);
+    const auto outcome = drain.on_ack(2, ack(p.epoch, 6, 2), 2, 10);
     EXPECT_EQ(outcome, round == 0 ? Outcome::kRepoll : Outcome::kDrained);
   }
 }
@@ -401,13 +410,43 @@ TEST(DrainProtocolTest, StaleEpochAcksAreIgnored) {
   DrainProtocol drain;
   drain.arm();
   const auto p1 = drain.begin_round();
-  EXPECT_EQ(drain.on_ack(ack(p1.epoch, 10), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(1, ack(p1.epoch, 10), 2, 10), Outcome::kPending);
   const auto p2 = drain.begin_round();  // repoll before the round finished
 
   // The straggler ack of round 1 must not pollute round 2.
-  EXPECT_EQ(drain.on_ack(ack(p1.epoch, 7), 2, 10), Outcome::kStale);
-  EXPECT_EQ(drain.on_ack(ack(p2.epoch, 6), 2, 10), Outcome::kPending);
-  EXPECT_EQ(drain.on_ack(ack(p2.epoch, 4), 2, 10), Outcome::kRepoll);
+  EXPECT_EQ(drain.on_ack(2, ack(p1.epoch, 7), 2, 10), Outcome::kStale);
+  EXPECT_EQ(drain.on_ack(1, ack(p2.epoch, 6), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(2, ack(p2.epoch, 4), 2, 10), Outcome::kRepoll);
+}
+
+TEST(DrainProtocolTest, DuplicateAcksFromOneSenderCountOnce) {
+  // A jittery network can deliver the same ack twice (drop-with-redelivery
+  // models retransmission).  The second copy must neither complete the
+  // round nor double-count the sender's chunks.
+  DrainProtocol drain;
+  drain.arm();
+  const auto p = drain.begin_round();
+  EXPECT_EQ(drain.on_ack(1, ack(p.epoch, 6), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(1, ack(p.epoch, 6), 2, 10), Outcome::kStale);
+  EXPECT_TRUE(drain.in_round());
+  // The genuine second sender still completes the round, and the balance
+  // is computed from one copy of each ack (6 + 4 == 10, not 12 + 4).
+  EXPECT_EQ(drain.on_ack(2, ack(p.epoch, 4), 2, 10), Outcome::kRepoll);
+}
+
+TEST(DrainProtocolTest, LateAckAfterRoundCompletionIsStale) {
+  DrainProtocol drain;
+  drain.arm();
+  auto p = drain.begin_round();
+  EXPECT_EQ(drain.on_ack(1, ack(p.epoch, 6), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(2, ack(p.epoch, 4), 2, 10), Outcome::kRepoll);
+  // A third (duplicate) ack arriving after the round closed must not be
+  // counted into the next round's totals.
+  EXPECT_EQ(drain.on_ack(2, ack(p.epoch, 4), 2, 10), Outcome::kStale);
+
+  p = drain.begin_round();
+  EXPECT_EQ(drain.on_ack(1, ack(p.epoch, 6), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(2, ack(p.epoch, 4), 2, 10), Outcome::kDrained);
 }
 
 TEST(DrainProtocolTest, AbortInvalidatesTheRoundAndTheHistory) {
@@ -416,25 +455,25 @@ TEST(DrainProtocolTest, AbortInvalidatesTheRoundAndTheHistory) {
 
   // A balanced round establishes history...
   auto p = drain.begin_round();
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 6), 2, 10), Outcome::kPending);
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 4), 2, 10), Outcome::kRepoll);
+  EXPECT_EQ(drain.on_ack(1, ack(p.epoch, 6), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(2, ack(p.epoch, 4), 2, 10), Outcome::kRepoll);
 
   // ...an expansion aborts the next round mid-flight...
   p = drain.begin_round();
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 6), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(1, ack(p.epoch, 6), 2, 10), Outcome::kPending);
   drain.abort();
   EXPECT_FALSE(drain.in_round());
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 4), 2, 10), Outcome::kStale);
+  EXPECT_EQ(drain.on_ack(2, ack(p.epoch, 4), 2, 10), Outcome::kStale);
 
   // ...and the restarted drain must prove stability afresh: one balanced
   // round is not enough.
   drain.arm();
   p = drain.begin_round();
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 6), 2, 10), Outcome::kPending);
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 4), 2, 10), Outcome::kRepoll);
+  EXPECT_EQ(drain.on_ack(1, ack(p.epoch, 6), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(2, ack(p.epoch, 4), 2, 10), Outcome::kRepoll);
   p = drain.begin_round();
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 6), 2, 10), Outcome::kPending);
-  EXPECT_EQ(drain.on_ack(ack(p.epoch, 4), 2, 10), Outcome::kDrained);
+  EXPECT_EQ(drain.on_ack(1, ack(p.epoch, 6), 2, 10), Outcome::kPending);
+  EXPECT_EQ(drain.on_ack(2, ack(p.epoch, 4), 2, 10), Outcome::kDrained);
 }
 
 }  // namespace

@@ -1,0 +1,375 @@
+// Chaos suite for node-failure injection and the failover + source-replay
+// recovery protocol (core/recovery.hpp).
+//
+// The gold standard throughout: no matter when a join node dies -- build,
+// reshuffle, or probe; once or twice; with or without spare pool nodes --
+// the run must terminate and produce exactly reference_join(config).
+// SimRuntime cases double as determinism checks: the same FaultPlan and
+// seed must reproduce the identical virtual-time line twice.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/driver.hpp"
+#include "core/failure_detector.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace ehja {
+namespace {
+
+// Small but not trivial: several chunks per node and a multi-slice build so
+// kills land mid-phase, with a memory budget tight enough (~4000 of 30000
+// build tuples per node) that the expanding algorithms actually expand and
+// replicas/reshuffles exist to be broken.  SmallDomain keys make the join
+// output dense: a recovery that loses or duplicates tuples shows up in the
+// match count and checksum, not just in storage totals.
+EhjaConfig chaos_config(Algorithm algorithm) {
+  EhjaConfig config;
+  config.algorithm = algorithm;
+  config.initial_join_nodes = 3;
+  config.join_pool_nodes = 8;
+  config.data_sources = 2;
+  config.build_rel.tuple_count = 30'000;
+  config.probe_rel.tuple_count = 30'000;
+  config.build_rel.dist = DistributionSpec::SmallDomain(2048);
+  config.probe_rel.dist = DistributionSpec::SmallDomain(2048);
+  config.chunk_tuples = 500;
+  config.generation_slice_tuples = 500;
+  config.node_hash_memory_bytes =
+      4000 * tuple_footprint(config.build_rel.schema);
+  config.reshuffle_bins = 64;
+  // This workload's rebuild bursts are milliseconds, so fast heartbeats
+  // keep virtual detection latency proportionate (the production defaults
+  // are sized for the full paper-scale workload).
+  config.ft.heartbeat_interval_sec = 0.025;
+  config.ft.heartbeat_timeout_sec = 0.1;
+  return config;
+}
+
+KillSpec kill_after_chunks(std::uint32_t pool_index, std::uint64_t chunks) {
+  KillSpec kill;
+  kill.pool_index = pool_index;
+  kill.after_chunks = chunks;
+  return kill;
+}
+
+KillSpec kill_at(std::uint32_t pool_index, double at_time) {
+  KillSpec kill;
+  kill.pool_index = pool_index;
+  kill.at_time = at_time;
+  return kill;
+}
+
+std::string algo_test_name(const ::testing::TestParamInfo<Algorithm>& info) {
+  std::string n = algorithm_name(info.param);
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+void expect_recovered(const RunResult& run, const EhjaConfig& config,
+                      std::uint32_t kills) {
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_EQ(run.metrics.failures_injected, kills);
+  EXPECT_EQ(run.metrics.failures_detected, kills);
+  EXPECT_GE(run.metrics.recoveries, 1u);
+  EXPECT_GT(run.metrics.detection_latency_total, 0.0);
+  EXPECT_GT(run.metrics.recovery_time_total, 0.0);
+  EXPECT_GT(run.metrics.replayed_build_tuples, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Kill during the build, at a deterministic progress point, every algorithm.
+
+class BuildKillSuite : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(BuildKillSuite, DiesMidBuildAndStillMatchesOracle) {
+  auto config = chaos_config(GetParam());
+  config.faults.kills.push_back(kill_after_chunks(1, 10));
+  const RunResult run = run_ehja(config);
+  expect_recovered(run, config, 1);
+  EXPECT_EQ(run.metrics.build_tuples_total, config.build_rel.tuple_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, BuildKillSuite,
+                         ::testing::Values(Algorithm::kSplit,
+                                           Algorithm::kReplicate,
+                                           Algorithm::kHybrid,
+                                           Algorithm::kOutOfCore,
+                                           Algorithm::kAdaptive),
+                         algo_test_name);
+
+// ---------------------------------------------------------------------------
+// Kill during the probe.  The kill time comes from a fault-free baseline run
+// with the detector armed (force_enabled), so the timeline matches the
+// faulty run's exactly up to the injected death.
+
+class ProbeKillSuite : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(ProbeKillSuite, DiesMidProbeAndStillMatchesOracle) {
+  auto config = chaos_config(GetParam());
+  config.ft.force_enabled = true;
+  const RunResult baseline = run_ehja(config);
+  ASSERT_GT(baseline.metrics.t_probe_end, baseline.metrics.t_reshuffle_end);
+  const double mid = 0.5 * (baseline.metrics.t_reshuffle_end +
+                            baseline.metrics.t_probe_end);
+  config.faults.kills.push_back(kill_at(0, mid));
+  const RunResult run = run_ehja(config);
+  expect_recovered(run, config, 1);
+  // A probe-side death rebuilds the table from R *and* re-sends the lost
+  // span of S.
+  EXPECT_GT(run.metrics.replayed_probe_tuples, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ProbeKillSuite,
+                         ::testing::Values(Algorithm::kSplit,
+                                           Algorithm::kReplicate,
+                                           Algorithm::kHybrid,
+                                           Algorithm::kOutOfCore,
+                                           Algorithm::kAdaptive),
+                         algo_test_name);
+
+// ---------------------------------------------------------------------------
+// Kill inside hybrid's reshuffle window: the in-flight round is aborted,
+// membership shrinks, and the scheduler replans against the survivors.
+
+TEST(RecoveryTest, HybridKilledDuringReshuffle) {
+  auto config = chaos_config(Algorithm::kHybrid);
+  config.ft.force_enabled = true;
+  const RunResult baseline = run_ehja(config);
+  ASSERT_GT(baseline.metrics.t_reshuffle_end, baseline.metrics.t_build_end)
+      << "baseline did not reshuffle; tighten the memory budget";
+  const double mid = 0.5 * (baseline.metrics.t_build_end +
+                            baseline.metrics.t_reshuffle_end);
+  config.faults.kills.push_back(kill_at(1, mid));
+  const RunResult run = run_ehja(config);
+  expect_recovered(run, config, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Two deaths, the second while the first recovery is still in flight (the
+// fold path: hulls accumulate, surgery recomputes, the epoch bumps again).
+
+TEST(RecoveryTest, DoubleFailureFoldsIntoOneRecoveryWave) {
+  auto config = chaos_config(Algorithm::kReplicate);
+  config.faults.kills.push_back(kill_after_chunks(1, 10));
+  config.faults.kills.push_back(kill_after_chunks(2, 14));
+  const RunResult run = run_ehja(config);
+  expect_recovered(run, config, 2);
+}
+
+TEST(RecoveryTest, BuildAndProbeDeathsInOneRun) {
+  auto config = chaos_config(Algorithm::kHybrid);
+  config.ft.force_enabled = true;
+  const RunResult baseline = run_ehja(config);
+  const double probe_mid = 0.5 * (baseline.metrics.t_reshuffle_end +
+                                  baseline.metrics.t_probe_end);
+  config.faults.kills.push_back(kill_after_chunks(1, 10));
+  config.faults.kills.push_back(kill_at(2, probe_mid));
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_EQ(run.metrics.failures_injected, 2u);
+  EXPECT_GE(run.metrics.recoveries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// No spare pool nodes: the dead node's range must merge into a surviving
+// neighbour, which blows its budget and degrades to spilling -- slower, but
+// never wrong.
+
+TEST(RecoveryTest, ExhaustedPoolMergesIntoNeighbourAndSpills) {
+  auto config = chaos_config(Algorithm::kReplicate);
+  config.join_pool_nodes = config.initial_join_nodes;  // no spares
+  config.node_hash_memory_bytes =
+      12'000 * tuple_footprint(config.build_rel.schema);
+  config.faults.kills.push_back(kill_after_chunks(1, 10));
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_GE(run.metrics.recoveries, 1u);
+  std::uint64_t spilled = 0;
+  for (const auto& node : run.metrics.nodes) {
+    spilled += node.spilled_build_tuples;
+  }
+  EXPECT_GT(spilled, 0u);
+}
+
+// Regression (found by RecoveryFuzz iteration 1): a replicate-mode initial
+// node dying on its 24th chunk, right at the start of the probe.
+TEST(RecoveryTest, EarlyProbeDeathReplicate) {
+  auto config = chaos_config(Algorithm::kReplicate);
+  config.faults.kills.push_back(kill_after_chunks(2, 24));
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the same FaultPlan and seed reproduce the identical
+// virtual-time line, bit for bit.
+
+TEST(RecoveryTest, FaultTimelineIsDeterministic) {
+  auto config = chaos_config(Algorithm::kHybrid);
+  config.faults.kills.push_back(kill_after_chunks(1, 12));
+  const RunResult a = run_ehja(config);
+  const RunResult b = run_ehja(config);
+  EXPECT_EQ(a.metrics.t_build_end, b.metrics.t_build_end);
+  EXPECT_EQ(a.metrics.t_reshuffle_end, b.metrics.t_reshuffle_end);
+  EXPECT_EQ(a.metrics.t_probe_end, b.metrics.t_probe_end);
+  EXPECT_EQ(a.metrics.t_complete, b.metrics.t_complete);
+  EXPECT_EQ(a.metrics.detection_latency_total,
+            b.metrics.detection_latency_total);
+  EXPECT_EQ(a.metrics.recovery_time_total, b.metrics.recovery_time_total);
+  EXPECT_EQ(a.metrics.replayed_build_tuples, b.metrics.replayed_build_tuples);
+  EXPECT_EQ(a.metrics.replayed_probe_tuples, b.metrics.replayed_probe_tuples);
+  EXPECT_EQ(a.metrics.extra_build_chunks, b.metrics.extra_build_chunks);
+  EXPECT_EQ(a.join(), b.join());
+}
+
+// Fault-free runs with the machinery merely *armed* still match the oracle
+// (the heartbeat traffic must not perturb protocol correctness).
+
+TEST(RecoveryTest, ArmedButFaultFreeStillMatchesOracle) {
+  auto config = chaos_config(Algorithm::kHybrid);
+  config.ft.force_enabled = true;
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_EQ(run.metrics.failures_detected, 0u);
+  EXPECT_EQ(run.metrics.recoveries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Network faults: per-message jitter and drop-with-redelivery break the
+// FIFO assumptions the fault-free protocol leans on; the epoch fences must
+// absorb that, with and without a concurrent node death.
+
+TEST(RecoveryTest, JitterAndRedeliveryAloneStayCorrect) {
+  auto config = chaos_config(Algorithm::kReplicate);
+  config.ft.force_enabled = true;
+  config.link.fault_jitter_sec = 200e-6;
+  config.link.fault_drop_prob = 0.05;
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+}
+
+TEST(RecoveryTest, NodeDeathUnderJitterAndRedelivery) {
+  auto config = chaos_config(Algorithm::kHybrid);
+  config.link.fault_jitter_sec = 100e-6;
+  config.link.fault_drop_prob = 0.02;
+  config.faults.kills.push_back(kill_after_chunks(1, 10));
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_GE(run.metrics.recoveries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fuzz: random algorithm x victim x progress point.  Every draw must
+// match the oracle; the seed makes a failure reproducible from the log.
+
+TEST(RecoveryFuzz, RandomSingleKillsMatchOracle) {
+  constexpr Algorithm kAll[] = {Algorithm::kSplit, Algorithm::kReplicate,
+                                Algorithm::kHybrid, Algorithm::kOutOfCore,
+                                Algorithm::kAdaptive};
+  SplitMix64 rng(20040607, /*stream=*/0xfa117);
+  for (int i = 0; i < 10; ++i) {
+    auto config = chaos_config(kAll[i % 5]);
+    const auto victim = static_cast<std::uint32_t>(rng.next_below(3));
+    // Up to ~90 chunks: the victim sees ~40 (build + probe), so high draws
+    // also cover late-probe deaths and kills that never fire at all.
+    const auto chunks = 1 + rng.next_below(90);
+    SCOPED_TRACE("iteration " + std::to_string(i) + ": " +
+                 algorithm_name(config.algorithm) + ", kill pool node " +
+                 std::to_string(victim) + " after " +
+                 std::to_string(chunks) + " chunks");
+    config.faults.kills.push_back(kill_after_chunks(victim, chunks));
+    const RunResult run = run_ehja(config);
+    EXPECT_EQ(run.join(), reference_join(config));
+    // Every kill that fired must have been detected.
+    EXPECT_EQ(run.metrics.failures_detected, run.metrics.failures_injected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadRuntime: real threads, wall-clock heartbeats.  Progress-triggered
+// kills keep the death deterministic; the ft timeouts are generous so TSan's
+// scheduling overhead cannot fake a second failure.
+
+class ThreadChaosSuite : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(ThreadChaosSuite, DiesMidBuildOnRealThreads) {
+  auto config = chaos_config(GetParam());
+  config.build_rel.tuple_count = 12'000;
+  config.probe_rel.tuple_count = 12'000;
+  config.node_hash_memory_bytes =
+      2000 * tuple_footprint(config.build_rel.schema);
+  config.ft.heartbeat_interval_sec = 0.05;
+  config.ft.heartbeat_timeout_sec = 1.0;
+  config.faults.kills.push_back(kill_after_chunks(1, 6));
+  const RunResult run = run_ehja(config, RuntimeKind::kThread);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_EQ(run.metrics.failures_injected, 1u);
+  EXPECT_GE(run.metrics.failures_detected, 1u);
+  EXPECT_GE(run.metrics.recoveries, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ThreadChaosSuite,
+                         ::testing::Values(Algorithm::kSplit,
+                                           Algorithm::kReplicate,
+                                           Algorithm::kHybrid),
+                         algo_test_name);
+
+// ---------------------------------------------------------------------------
+// FailureDetector unit tests: the clock book in isolation.
+
+TEST(FailureDetectorTest, SilentActorDeclaredDeadAfterTimeout) {
+  FailureDetector detector(/*timeout_sec=*/0.1);
+  detector.track(7, 0.0);
+  detector.track(9, 0.0);
+
+  auto result = detector.tick(0.05);  // inside the timeout: ping both
+  EXPECT_TRUE(result.dead.empty());
+  EXPECT_EQ(result.ping, (std::vector<ActorId>{7, 9}));
+
+  detector.heard_from(9, 0.08);
+  result = detector.tick(0.15);  // 7 silent for 0.15 > 0.1; 9 for 0.07
+  ASSERT_EQ(result.dead.size(), 1u);
+  EXPECT_EQ(result.dead[0].actor, 7);
+  EXPECT_DOUBLE_EQ(result.dead[0].silence_sec, 0.15);
+  EXPECT_EQ(result.ping, (std::vector<ActorId>{9}));
+  EXPECT_FALSE(detector.tracking(7));  // declared dead => untracked
+  EXPECT_TRUE(detector.tracking(9));
+}
+
+TEST(FailureDetectorTest, LatePongCannotResurrectTheDead) {
+  FailureDetector detector(0.1);
+  detector.track(7, 0.0);
+  auto result = detector.tick(0.2);
+  ASSERT_EQ(result.dead.size(), 1u);
+  detector.heard_from(7, 0.21);  // the zombie pong
+  result = detector.tick(0.25);
+  EXPECT_TRUE(result.dead.empty());
+  EXPECT_TRUE(result.ping.empty());
+  EXPECT_FALSE(detector.tracking(7));
+}
+
+TEST(FailureDetectorTest, UntrackStopsPinging) {
+  FailureDetector detector(0.1);
+  detector.track(3, 0.0);
+  detector.track(4, 0.0);
+  detector.untrack(3);
+  const auto result = detector.tick(0.05);
+  EXPECT_EQ(result.ping, (std::vector<ActorId>{4}));
+  EXPECT_EQ(detector.tracked_count(), 1u);
+}
+
+TEST(FailureDetectorTest, ExactTimeoutBoundaryIsStillAlive) {
+  FailureDetector detector(0.1);
+  detector.track(5, 0.0);
+  const auto result = detector.tick(0.1);  // silence == timeout: not yet
+  EXPECT_TRUE(result.dead.empty());
+  EXPECT_EQ(result.ping, (std::vector<ActorId>{5}));
+}
+
+}  // namespace
+}  // namespace ehja

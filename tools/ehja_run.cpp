@@ -19,6 +19,11 @@
 //     --split-variant=requester|pointer                (default requester)
 //     --runtime=sim|thread  execution runtime                 (default sim)
 //     --topology=switched|bus
+//     --kill-node=I@T       kill the join node at pool index I at time T
+//                           (virtual seconds), or after its K-th data chunk
+//                           with the form I@Kc; repeatable
+//     --net-jitter=SEC      uniform extra per-message delivery delay
+//     --net-drop-prob=P     per-message drop-with-redelivery probability
 //     --trace-csv=FILE      dump the run trace as CSV
 //     --verify              check the result against the serial oracle
 //     --quiet / --verbose   log level
@@ -77,6 +82,25 @@ DistributionSpec parse_dist(const std::string& spec) {
         std::strtoull(spec.c_str() + 12, nullptr, 10));
   }
   usage_error("unknown --dist " + spec);
+}
+
+// "I@T" (kill pool node I at virtual time T) or "I@Kc" (kill it as its K-th
+// data chunk arrives).
+KillSpec parse_kill(const std::string& spec) {
+  const auto at = spec.find('@');
+  if (at == std::string::npos) usage_error("--kill-node needs I@T or I@Kc");
+  KillSpec kill;
+  kill.pool_index =
+      static_cast<std::uint32_t>(std::atoi(spec.substr(0, at).c_str()));
+  const std::string trigger = spec.substr(at + 1);
+  if (!trigger.empty() && trigger.back() == 'c') {
+    kill.after_chunks = std::strtoull(trigger.c_str(), nullptr, 10);
+    if (kill.after_chunks == 0) usage_error("--kill-node chunk count must be >= 1");
+  } else {
+    kill.at_time = std::atof(trigger.c_str());
+    if (kill.at_time < 0.0) usage_error("--kill-node time must be >= 0");
+  }
+  return kill;
 }
 
 }  // namespace
@@ -139,6 +163,12 @@ int main(int argc, char** argv) {
       if (value == "switched") config.link.topology = Topology::kSwitched;
       else if (value == "bus") config.link.topology = Topology::kSharedBus;
       else usage_error("unknown --topology " + value);
+    } else if (match_flag(argv[i], "--kill-node", &value)) {
+      config.faults.kills.push_back(parse_kill(value));
+    } else if (match_flag(argv[i], "--net-jitter", &value)) {
+      config.link.fault_jitter_sec = std::atof(value.c_str());
+    } else if (match_flag(argv[i], "--net-drop-prob", &value)) {
+      config.link.fault_drop_prob = std::atof(value.c_str());
     } else if (match_flag(argv[i], "--trace-csv", &value)) {
       trace_path = value;
     } else if (match_flag(argv[i], "--verify", &value)) {
@@ -193,6 +223,18 @@ int main(int argc, char** argv) {
   std::printf("-- load balance (chunks per node) --\n");
   std::printf("min %.1f | avg %.1f | max %.1f | imbalance %.2f\n", load.min(),
               load.mean(), load.max(), load.imbalance());
+  if (config.recovery_enabled()) {
+    std::printf("-- failures --\n");
+    std::printf("injected %u | detected %u (mean latency %.3f s) | "
+                "recoveries %u (%.3f s total) | replayed %llu R + %llu S\n",
+                m.failures_injected, m.failures_detected,
+                m.failures_detected > 0
+                    ? m.detection_latency_total / m.failures_detected
+                    : 0.0,
+                m.recoveries, m.recovery_time_total,
+                static_cast<unsigned long long>(m.replayed_build_tuples),
+                static_cast<unsigned long long>(m.replayed_probe_tuples));
+  }
   std::printf("-- output --\n");
   std::printf("%llu matches, checksum %016llx\n",
               static_cast<unsigned long long>(result.join().matches),
