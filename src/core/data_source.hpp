@@ -46,6 +46,10 @@ class DataSourceActor final : public Actor {
 
   void on_message(const Message& msg) override;
   std::string name() const override;
+  std::optional<RemoteSpawnSpec> remote_spawn_spec() const override {
+    return RemoteSpawnSpec{RemoteSpawnSpec::Kind::kDataSource, source_index_,
+                           scheduler_};
+  }
 
   std::uint64_t build_chunks_sent() const { return build_chunks_; }
   std::uint64_t probe_chunks_sent() const { return probe_chunks_; }

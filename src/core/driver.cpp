@@ -8,6 +8,7 @@
 #include "core/join_process.hpp"
 #include "core/scheduler.hpp"
 #include "runtime/sim_runtime.hpp"
+#include "runtime/socket_runtime.hpp"
 #include "runtime/thread_runtime.hpp"
 #include "util/assert.hpp"
 #include "workload/generator.hpp"
@@ -16,12 +17,17 @@ namespace ehja {
 
 namespace {
 
-std::unique_ptr<Runtime> make_runtime(RuntimeKind kind, ClusterSpec spec) {
+std::unique_ptr<Runtime> make_runtime(RuntimeKind kind, ClusterSpec spec,
+                                      const EhjaConfig& config) {
   switch (kind) {
     case RuntimeKind::kSim:
       return std::make_unique<SimRuntime>(std::move(spec));
     case RuntimeKind::kThread:
       return std::make_unique<ThreadRuntime>(std::move(spec));
+    case RuntimeKind::kSocket:
+      // Forks one worker process per non-coordinator node; the config rides
+      // along so workers can rebuild actors from spawn specs.
+      return std::make_unique<SocketRuntime>(std::move(spec), config);
   }
   EHJA_CHECK_MSG(false, "unreachable: bad RuntimeKind");
   return nullptr;
@@ -32,7 +38,8 @@ std::unique_ptr<Runtime> make_runtime(RuntimeKind kind, ClusterSpec spec) {
 RunResult run_ehja(const EhjaConfig& config, RuntimeKind kind) {
   config.validate();
   auto cfg = std::make_shared<const EhjaConfig>(config);
-  std::unique_ptr<Runtime> runtime = make_runtime(kind, make_cluster(config));
+  std::unique_ptr<Runtime> runtime =
+      make_runtime(kind, make_cluster(config), config);
   Runtime* rt = runtime.get();
 
   // The scheduler instantiates join processes on demand through this hook

@@ -20,6 +20,7 @@ namespace ehja {
 enum class RuntimeKind {
   kSim,     // deterministic discrete-event runtime (virtual time; figures)
   kThread,  // real threads (no timing model; protocol stress testing)
+  kSocket,  // real processes over TCP (runtime/socket_runtime.hpp)
 };
 
 struct RunResult {

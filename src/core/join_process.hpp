@@ -54,6 +54,9 @@ class JoinProcessActor final : public Actor {
 
   void on_message(const Message& msg) override;
   std::string name() const override;
+  std::optional<RemoteSpawnSpec> remote_spawn_spec() const override {
+    return RemoteSpawnSpec{RemoteSpawnSpec::Kind::kJoinProcess, 0, scheduler_};
+  }
 
   // --- post-run observability (driver/tests) ---
   const JoinResult& result() const { return result_; }

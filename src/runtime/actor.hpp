@@ -19,7 +19,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "cluster/cluster_spec.hpp"
@@ -31,6 +33,18 @@ namespace ehja {
 
 class Runtime;
 
+/// Recipe for re-instantiating an actor in another OS process (the socket
+/// runtime forks one worker per cluster node).  Actors cannot be shipped as
+/// objects, but the two kinds the driver and scheduler place on worker nodes
+/// -- join processes and data sources -- are fully determined by the shared
+/// EhjaConfig plus these few fields, so a worker-side factory rebuilds them.
+struct RemoteSpawnSpec {
+  enum class Kind : std::uint8_t { kJoinProcess = 0, kDataSource = 1 };
+  Kind kind = Kind::kJoinProcess;
+  std::uint32_t source_index = 0;  // kDataSource only
+  ActorId scheduler = kInvalidActor;
+};
+
 class Actor {
  public:
   virtual ~Actor() = default;
@@ -39,6 +53,13 @@ class Actor {
   virtual void on_message(const Message& msg) = 0;
   /// Short tag for log lines.
   virtual std::string name() const { return "actor"; }
+
+  /// How to rebuild this actor in a worker process, or nullopt for actor
+  /// kinds that only run where they were constructed (the socket runtime
+  /// refuses to place those on a remote node).
+  virtual std::optional<RemoteSpawnSpec> remote_spawn_spec() const {
+    return std::nullopt;
+  }
 
   ActorId id() const { return id_; }
   NodeId node() const { return node_; }
@@ -57,6 +78,8 @@ class Actor {
  private:
   friend class SimRuntime;
   friend class ThreadRuntime;
+  friend class SocketRuntime;
+  friend class SocketWorkerRuntime;
   friend class HarnessRuntime;  // tests/actor_harness.hpp
   void bind(Runtime* rt, ActorId id, NodeId node) {
     rt_ = rt;

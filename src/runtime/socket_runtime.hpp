@@ -1,0 +1,158 @@
+// Multi-process TCP runtime (the third Runtime backend).
+//
+// SimRuntime models the paper's cluster; ThreadRuntime shakes out protocol
+// races; SocketRuntime *is* a cluster: every NodeId runs as a separate OS
+// process (runtime/launcher.hpp forks this binary in worker mode) and every
+// message crosses a real TCP connection in the net/wire.hpp format.
+//
+// Topology.  The coordinator process (the one that called run_ehja) hosts
+// node 0 -- by the driver's layout the scheduler -- and spawns one worker
+// process per remaining node.  Startup handshake, all over loopback TCP:
+//
+//   1. worker -> coordinator   HELLO    (node id, mesh listen port,
+//                                        incarnation epoch)
+//   2. coordinator -> worker   WELCOME  (the full EhjaConfig, serialized;
+//                                        wire-version mismatches fail here)
+//   3. coordinator -> worker   PEERS    (every other worker's listen port)
+//   4. worker <-> worker       PEER_HELLO on direct connections: the
+//                              higher-numbered node dials the lower, so each
+//                              unordered pair gets exactly one socket
+//   5. worker -> coordinator   READY once its mesh is complete
+//
+// After READY the cluster is a full mesh: worker<->worker traffic (chunk
+// forwarding, splits, reshuffle) never relays through the coordinator.
+//
+// Actor placement.  All spawns happen on the coordinator (the scheduler and
+// driver run there), which assigns ActorIds sequentially and ships a SPAWN
+// frame (an Actor::remote_spawn_spec recipe) to the owning worker plus
+// ANNOUNCE frames (id -> node routes) to everyone else.  Because the
+// coordinator announces an id before any message naming it can be sent,
+// routes are almost always known on arrival; the rare cross-connection race
+// is absorbed by pending queues on both the send and receive side.
+//
+// Delivery contract.  One TCP connection per node pair plus a per-connection
+// sequence number on every actor-message frame gives per-pair FIFO -- the
+// same ordering NetworkModel guarantees and the drain protocol relies on --
+// and the receiver EHJA_CHECKs the sequence to prove it.  Worker death
+// (SIGKILL from the FaultPlan, or any real crash) is observed by the
+// launcher's reap and folded into the same fail-stop state as
+// SimRuntime::kill_node: the node is marked dead, peers get NODE_DEAD and
+// drop traffic to/from it, and the scheduler's heartbeat detector + recovery
+// protocol take it from there, unchanged.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+#include "core/config.hpp"
+#include "runtime/actor.hpp"
+#include "runtime/launcher.hpp"
+
+namespace ehja {
+
+namespace socket_detail {
+struct Conn;
+}
+
+/// Worker-mode entry point.  If argv requests worker mode
+/// (`--ehja-worker=<node> --ehja-coordinator-port=<port>`), runs the worker
+/// to completion and returns its exit code; otherwise returns nullopt.
+/// Every binary that can host a socket run must call this first thing in
+/// main() -- the launcher re-executes the binary itself.
+std::optional<int> maybe_run_socket_worker(int argc, char** argv);
+
+/// Per-pair FIFO acceptance: frame sequence numbers on one connection must
+/// arrive exactly in send order.  Exposed for the ordering tests; the
+/// runtimes EHJA_CHECK this on every received actor-message frame.
+inline bool fifo_accept(std::uint64_t& expected_next, std::uint64_t seq) {
+  if (seq != expected_next) return false;
+  ++expected_next;
+  return true;
+}
+
+/// The coordinator-side Runtime.  Constructing it launches and handshakes
+/// the whole worker fleet; run() drives the scheduler plus all socket I/O
+/// on the calling thread until request_stop(), then shuts the fleet down.
+class SocketRuntime final : public Runtime {
+ public:
+  /// `config` is shipped to every worker in the WELCOME frame (minus the
+  /// trace sink -- tracing only observes coordinator-side actors).
+  SocketRuntime(ClusterSpec spec, const EhjaConfig& config);
+  ~SocketRuntime() override;
+
+  ActorId spawn(NodeId node, std::unique_ptr<Actor> actor) override;
+  void send(Actor& from, ActorId to, Message msg) override;
+  void defer(Actor& from, Message msg) override;
+  void charge(Actor& from, double cpu_seconds) override;
+  SimTime actor_now(const Actor& actor) const override;
+  void defer_after(Actor& from, Message msg, double delay_sec) override;
+  void kill_node(NodeId node) override;
+  void schedule_kill(NodeId node, double at) override;
+  bool node_alive(NodeId node) const override;
+  std::uint32_t kills_executed() const override { return kills_executed_; }
+  void run() override;
+  void request_stop() override;
+  const ClusterSpec& cluster() const override { return spec_; }
+  std::size_t actor_count() const override { return actors_.size(); }
+  Actor& actor(ActorId id) override;
+
+ private:
+  struct Timer {
+    double due = 0.0;  // seconds on the run clock
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  struct Inbound {
+    ActorId to = kInvalidActor;
+    NodeId from_node = -1;
+    Message msg;
+  };
+
+  void handshake(std::uint16_t port);
+  void deliver_local(const Inbound& in);
+  void drain_local(std::size_t budget);
+  void fire_due_timers();
+  void enqueue_timer(double delay_sec, std::function<void()> fn);
+  double now_sec() const;
+  void pump_sockets(int timeout_ms);
+  void handle_frames(socket_detail::Conn& conn);
+  void mark_node_dead(NodeId node);
+  void broadcast_announce(ActorId id, NodeId node);
+  void shutdown_cluster();
+
+  ClusterSpec spec_;
+  EhjaConfig config_;
+  Launcher launcher_;
+  int listen_fd_ = -1;
+
+  /// Indexed by NodeId; entry 0 (the coordinator itself) stays null.
+  std::vector<std::unique_ptr<socket_detail::Conn>> conns_;
+
+  std::vector<std::unique_ptr<Actor>> actors_;  // remote ones stay unbound
+  std::vector<NodeId> route_;                   // ActorId -> hosting node
+  std::deque<Inbound> local_q_;
+  std::vector<Actor*> start_q_;  // pre-run local spawns awaiting on_start
+
+  std::vector<Timer> timer_heap_;
+  std::uint64_t timer_seq_ = 0;
+  /// defer_after()/schedule_kill() before run(): delays are relative to run
+  /// start (ThreadRuntime semantics), so they park here until the clock
+  /// exists.
+  std::vector<std::pair<double, std::function<void()>>> pre_run_timers_;
+
+  std::vector<char> node_dead_;
+  std::uint32_t kills_executed_ = 0;
+  bool running_ = false;
+  bool stop_ = false;
+  bool stopping_ = false;  // shutdown begun: exits are no longer failures
+  bool shutdown_done_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace ehja

@@ -1,0 +1,142 @@
+// SocketRuntime integration tests (ctest label: socket).
+//
+// Every test here runs the join across *real processes*: the coordinator
+// (this test binary) forks one worker per non-coordinator node, re-executing
+// itself in worker mode -- which is why this file has a custom main() that
+// dispatches to maybe_run_socket_worker() before gtest ever sees argv.
+//
+// The gold standard is the same as the sim suites': run_ehja() must produce
+// exactly reference_join(config), now with the answer assembled from tuples
+// that crossed genuine TCP connections.  The per-pair FIFO contract needs no
+// dedicated pass/fail probe beyond the unit test below: every kActorMsg
+// frame a SocketRuntime/SocketWorkerRuntime receives is EHJA_CHECKed against
+// the per-connection sequence counter (fifo_accept), so any violation aborts
+// the worker, the coordinator sees an unexpected exit, and the test fails.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/driver.hpp"
+#include "runtime/socket_runtime.hpp"
+#include "util/units.hpp"
+
+namespace ehja {
+namespace {
+
+// Mirrors tests/test_recovery.cpp's chaos_config: small enough that a full
+// cross-process run takes seconds, with a memory budget tight enough
+// (~4000 of 30000 build tuples per node) that every algorithm actually
+// expands -- so splits, replicas, handoffs and map updates all cross
+// process boundaries, not just data chunks.
+EhjaConfig socket_config(Algorithm algorithm) {
+  EhjaConfig config;
+  config.algorithm = algorithm;
+  config.initial_join_nodes = 3;
+  config.join_pool_nodes = 6;
+  config.data_sources = 2;
+  config.build_rel.tuple_count = 30'000;
+  config.probe_rel.tuple_count = 30'000;
+  config.build_rel.dist = DistributionSpec::SmallDomain(2048);
+  config.probe_rel.dist = DistributionSpec::SmallDomain(2048);
+  config.chunk_tuples = 500;
+  config.generation_slice_tuples = 500;
+  config.node_hash_memory_bytes =
+      4000 * tuple_footprint(config.build_rel.schema);
+  config.reshuffle_bins = 64;
+  return config;
+}
+
+std::string algo_test_name(const ::testing::TestParamInfo<Algorithm>& info) {
+  std::string n = algorithm_name(info.param);
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// The FIFO acceptance predicate both runtimes check on every received frame.
+
+TEST(FifoAccept, AcceptsExactlyTheNextSequence) {
+  std::uint64_t expected = 0;
+  EXPECT_TRUE(fifo_accept(expected, 0));
+  EXPECT_TRUE(fifo_accept(expected, 1));
+  EXPECT_TRUE(fifo_accept(expected, 2));
+  EXPECT_EQ(expected, 3u);
+  // A gap (drop) and a replay (duplicate/reorder) must both be rejected
+  // without advancing the window.
+  EXPECT_FALSE(fifo_accept(expected, 5));
+  EXPECT_FALSE(fifo_accept(expected, 2));
+  EXPECT_EQ(expected, 3u);
+  EXPECT_TRUE(fifo_accept(expected, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Oracle equality, one real multi-process run per algorithm.  The checksum
+// is an order-independent fold over every emitted match, so agreement with
+// the serial oracle means no tuple was lost, duplicated or mis-joined on
+// its way through the socket mesh.
+
+class SocketOracleSuite : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(SocketOracleSuite, MatchesSerialOracleAcrossProcesses) {
+  const EhjaConfig config = socket_config(GetParam());
+  const RunResult run = run_ehja(config, RuntimeKind::kSocket);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_EQ(run.metrics.build_tuples_total, config.build_rel.tuple_count);
+  EXPECT_EQ(run.metrics.failures_injected, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, SocketOracleSuite,
+                         ::testing::Values(Algorithm::kSplit,
+                                           Algorithm::kReplicate,
+                                           Algorithm::kHybrid,
+                                           Algorithm::kOutOfCore,
+                                           Algorithm::kAdaptive),
+                         algo_test_name);
+
+// ---------------------------------------------------------------------------
+// Fail-stop recovery with a real SIGKILL.  The chunk-triggered kill fires
+// inside the victim worker process (raise(SIGKILL) as its 10th data chunk
+// arrives), the launcher reaps the corpse, the scheduler's heartbeat
+// detector notices the silence, and the PR-2 recovery protocol -- failover,
+// epoch fences, source replay -- must reassemble the exact oracle answer.
+// Heartbeat timings are *wall-clock* seconds here, unlike the sim suite's
+// virtual ones, so the timeout is kept large enough to never false-trigger
+// on a loaded CI machine yet small enough to keep the test quick.
+
+TEST(SocketRecovery, SigkillMidBuildStillMatchesOracle) {
+  EhjaConfig config = socket_config(Algorithm::kHybrid);
+  KillSpec kill;
+  kill.pool_index = 1;
+  kill.after_chunks = 10;
+  config.faults.kills.push_back(kill);
+  config.ft.heartbeat_interval_sec = 0.05;
+  config.ft.heartbeat_timeout_sec = 1.0;
+
+  const RunResult run = run_ehja(config, RuntimeKind::kSocket);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_EQ(run.metrics.failures_injected, 1u);
+  EXPECT_EQ(run.metrics.failures_detected, 1u);
+  EXPECT_GE(run.metrics.recoveries, 1u);
+  EXPECT_GT(run.metrics.detection_latency_total, 0.0);
+  EXPECT_GT(run.metrics.recovery_time_total, 0.0);
+  EXPECT_GT(run.metrics.replayed_build_tuples, 0u);
+  EXPECT_EQ(run.metrics.build_tuples_total, config.build_rel.tuple_count);
+}
+
+}  // namespace
+}  // namespace ehja
+
+// Custom main: a forked worker re-executes this binary with
+// --ehja-worker=N --ehja-coordinator-port=P; it must become a runtime
+// worker, not a gtest run.  Plain gtest invocations (including
+// --gtest_list_tests discovery) fall through untouched.
+int main(int argc, char** argv) {
+  if (const auto worker_exit = ehja::maybe_run_socket_worker(argc, argv)) {
+    return *worker_exit;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -17,7 +17,15 @@
 //     --chunk=N             tuples per transport chunk        (default 10000)
 //     --seed=N              RNG seed                          (default 1)
 //     --split-variant=requester|pointer                (default requester)
-//     --runtime=sim|thread  execution runtime                 (default sim)
+//     --runtime=sim|thread|socket  execution runtime          (default sim)
+//                           sim: discrete-event, virtual time; thread: one
+//                           OS thread per node; socket: one OS *process*
+//                           per node over loopback TCP
+//     --workers=N           alias for --pool, reads naturally with
+//                           --runtime=socket (one process per cluster node)
+//     --heartbeat-interval=SEC  scheduler ping cadence        (default 0.5)
+//     --heartbeat-timeout=SEC   silence before a node is declared dead
+//                               (default 5)
 //     --topology=switched|bus
 //     --kill-node=I@T       kill the join node at pool index I at time T
 //                           (virtual seconds), or after its K-th data chunk
@@ -35,6 +43,7 @@
 
 #include "core/driver.hpp"
 #include "core/planner.hpp"
+#include "runtime/socket_runtime.hpp"
 #include "trace/trace.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -103,9 +112,24 @@ KillSpec parse_kill(const std::string& spec) {
   return kill;
 }
 
+const char* runtime_name(RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::kSim: return "sim";
+    case RuntimeKind::kThread: return "thread";
+    case RuntimeKind::kSocket: return "socket";
+  }
+  return "?";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The socket runtime re-executes this binary as its per-node workers;
+  // such invocations never reach the normal CLI below.
+  if (const auto worker_exit = maybe_run_socket_worker(argc, argv)) {
+    return *worker_exit;
+  }
+
   EhjaConfig config;
   config.build_rel.tuple_count = 1'000'000;
   config.probe_rel.tuple_count = 1'000'000;
@@ -158,7 +182,21 @@ int main(int argc, char** argv) {
     } else if (match_flag(argv[i], "--runtime", &value)) {
       if (value == "sim") runtime = RuntimeKind::kSim;
       else if (value == "thread") runtime = RuntimeKind::kThread;
-      else usage_error("unknown --runtime " + value);
+      else if (value == "socket") runtime = RuntimeKind::kSocket;
+      else usage_error("unknown --runtime '" + value +
+                       "' (valid backends: sim, thread, socket)");
+    } else if (match_flag(argv[i], "--workers", &value)) {
+      config.join_pool_nodes = static_cast<std::uint32_t>(std::atoi(value.c_str()));
+    } else if (match_flag(argv[i], "--heartbeat-interval", &value)) {
+      config.ft.heartbeat_interval_sec = std::atof(value.c_str());
+      if (config.ft.heartbeat_interval_sec <= 0.0) {
+        usage_error("--heartbeat-interval must be > 0");
+      }
+    } else if (match_flag(argv[i], "--heartbeat-timeout", &value)) {
+      config.ft.heartbeat_timeout_sec = std::atof(value.c_str());
+      if (config.ft.heartbeat_timeout_sec <= 0.0) {
+        usage_error("--heartbeat-timeout must be > 0");
+      }
     } else if (match_flag(argv[i], "--topology", &value)) {
       if (value == "switched") config.link.topology = Topology::kSwitched;
       else if (value == "bus") config.link.topology = Topology::kSharedBus;
@@ -195,6 +233,8 @@ int main(int argc, char** argv) {
   TraceSink sink;
   if (!trace_path.empty()) config.trace = &sink;
 
+  std::printf("runtime: %s | seed %llu\n", runtime_name(runtime),
+              static_cast<unsigned long long>(config.seed));
   std::printf("config: %s\n", config.to_string().c_str());
   const RunResult result = run_ehja(config, runtime);
   const RunMetrics& m = result.metrics;
