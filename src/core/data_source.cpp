@@ -91,10 +91,13 @@ void DataSourceActor::generate_slice() {
   const RelTag rel = active_spec().tag;
   Tuple t;
   std::uint32_t produced = 0;
+  stage_.clear();
+  stage_.reserve(config_->generation_slice_tuples);
   while (produced < config_->generation_slice_tuples && stream_->next(t)) {
-    route(t, rel);
+    stage_.append(t.id, t.key);
     ++produced;
   }
+  route_batch(stage_, rel, /*probe_fanout=*/phase_ == Phase::kProbe);
   charge(static_cast<double>(produced) * config_->cost.tuple_generate_sec);
 
   // The adaptive policy's observed-rate input.  Only kAdaptive pays for
@@ -199,8 +202,48 @@ void DataSourceActor::replay_slice() {
   }
 }
 
-void DataSourceActor::route(const Tuple& t, RelTag rel) {
-  route_tuple(t, rel, /*probe_fanout=*/phase_ == Phase::kProbe);
+void DataSourceActor::route_batch(const TupleBatch& batch, RelTag rel,
+                                  bool probe_fanout) {
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  // One-pass partition histogram over the precomputed position column:
+  // the destination map entry of every row plus per-entry counts.
+  stage_entry_.resize(n);
+  entry_counts_.assign(map_.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = map_.index_for(batch.position(i));
+    stage_entry_[i] = static_cast<std::uint32_t>(idx);
+    ++entry_counts_[idx];
+  }
+  // Size the destination buffers from the histogram before scattering.
+  const auto& entries = map_.entries();
+  for (std::size_t idx = 0; idx < entries.size(); ++idx) {
+    const std::uint32_t count = entry_counts_[idx];
+    if (count == 0) continue;
+    const auto reserve_for = [&](ActorId owner) {
+      Chunk& buffer = buffers_[owner];
+      buffer.batch.reserve(std::min<std::size_t>(
+          config_->chunk_tuples, buffer.size() + count));
+    };
+    if (!probe_fanout) {
+      reserve_for(entries[idx].active_owner());
+    } else {
+      for (ActorId owner : entries[idx].owners) reserve_for(owner);
+    }
+  }
+  // Scatter in generation order; a buffer flushes the moment it fills, so
+  // chunk boundaries and send order match the tuple-at-a-time semantics.
+  for (std::size_t i = 0; i < n; ++i) {
+    const PartitionMap::Entry& entry = entries[stage_entry_[i]];
+    if (!probe_fanout) {
+      buffer_row(entry.active_owner(), batch, i, rel);
+    } else {
+      // Probe: replicated ranges receive every probe tuple on all replicas.
+      for (ActorId owner : entry.owners) {
+        buffer_row(owner, batch, i, rel);
+      }
+    }
+  }
 }
 
 void DataSourceActor::route_tuple(const Tuple& t, RelTag rel,
@@ -218,13 +261,25 @@ void DataSourceActor::route_tuple(const Tuple& t, RelTag rel,
 
 void DataSourceActor::buffer_tuple(ActorId to, const Tuple& t, RelTag rel) {
   Chunk& buffer = buffers_[to];
-  if (buffer.tuples.empty()) {
+  if (buffer.empty()) {
     buffer.rel = rel;
-    buffer.tuples.reserve(config_->chunk_tuples);
   }
   EHJA_CHECK_MSG(buffer.rel == rel, "mixed-relation buffer");
-  buffer.tuples.push_back(t);
-  if (buffer.tuples.size() >= config_->chunk_tuples) {
+  buffer.batch.push_back(t);
+  if (buffer.size() >= config_->chunk_tuples) {
+    flush(to);
+  }
+}
+
+void DataSourceActor::buffer_row(ActorId to, const TupleBatch& batch,
+                                 std::size_t i, RelTag rel) {
+  Chunk& buffer = buffers_[to];
+  if (buffer.empty()) {
+    buffer.rel = rel;
+  }
+  EHJA_CHECK_MSG(buffer.rel == rel, "mixed-relation buffer");
+  buffer.batch.append_row(batch, i);
+  if (buffer.size() >= config_->chunk_tuples) {
     flush(to);
   }
 }
@@ -233,7 +288,7 @@ void DataSourceActor::flush(ActorId to) {
   auto it = buffers_.find(to);
   if (it == buffers_.end() || it->second.empty()) return;
   Chunk& buffer = it->second;
-  const std::size_t n = buffer.tuples.size();
+  const std::size_t n = buffer.size();
   charge(static_cast<double>(n) * config_->cost.tuple_pack_sec);
   // Replayed tuples are re-deliveries, not new production: keeping them out
   // of tuples_sent_ preserves the build-side conservation check.

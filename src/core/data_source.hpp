@@ -71,9 +71,16 @@ class DataSourceActor final : public Actor {
   void generate_slice();
   void handle_replay(const ReplayRequestPayload& req);
   void replay_slice();
-  void route(const Tuple& t, RelTag rel);
+  /// Route a staged generation batch: one histogram pass over the position
+  /// column (destination entry per row + per-entry counts, used to size the
+  /// buffers), then an in-order scatter so chunk boundaries match the
+  /// tuple-at-a-time semantics exactly.
+  void route_batch(const TupleBatch& batch, RelTag rel, bool probe_fanout);
   void route_tuple(const Tuple& t, RelTag rel, bool probe_fanout);
   void buffer_tuple(ActorId to, const Tuple& t, RelTag rel);
+  /// Append row `i` of `batch` to `to`'s buffer (no re-hashing).
+  void buffer_row(ActorId to, const TupleBatch& batch, std::size_t i,
+                  RelTag rel);
   void flush(ActorId to);
   void flush_all();
   /// Queue a kGenSlice self-message unless one is already outstanding.
@@ -90,6 +97,12 @@ class DataSourceActor final : public Actor {
   std::uint64_t map_version_ = 0;
   std::optional<TupleStream> stream_;
   std::map<ActorId, Chunk> buffers_;
+  /// Reused staging area for one generation slice (columnar; positions are
+  /// hashed once here and reused by every later hop).
+  TupleBatch stage_;
+  /// Scratch of route_batch's histogram pass (reused across slices).
+  std::vector<std::uint32_t> stage_entry_;
+  std::vector<std::uint32_t> entry_counts_;
 
   std::uint64_t build_chunks_ = 0;
   std::uint64_t probe_chunks_ = 0;

@@ -188,24 +188,25 @@ void JoinProcessActor::handle_chunk(ActorId from, const ChunkPayload& payload) {
   }
   // Filter out tuples a recovery fence covers: they belong to ranges being
   // rebuilt, and the source replay re-delivers them under the new epoch.
+  // The filter runs over the batch's precomputed position column.
   Chunk kept;
   kept.rel = chunk.rel;
-  kept.tuples.reserve(chunk.tuples.size());
-  for (const Tuple& t : chunk.tuples) {
-    if (fence_drops(payload.epoch, position_of(t.key))) {
+  kept.batch.reserve(chunk.size());
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    if (fence_drops(payload.epoch, chunk.batch.position(i))) {
       ++fence_dropped_tuples_;
     } else {
-      kept.tuples.push_back(t);
+      kept.batch.append_row(chunk.batch, i);
     }
   }
   if (retired_) {
     // A retired node owns no map entry; anything surviving the fences here
     // indicates a routing bug upstream, so keep it loud.
-    EHJA_CHECK_MSG(kept.tuples.empty(),
+    EHJA_CHECK_MSG(kept.empty(),
                    "data tuple survived fences at a retired node");
     return;
   }
-  if (kept.tuples.empty()) return;
+  if (kept.empty()) return;
   if (kept.rel == config_->build_rel.tag) {
     handle_build_chunk(kept, payload.epoch);
   } else {
@@ -221,46 +222,57 @@ void JoinProcessActor::handle_build_chunk(const Chunk& chunk,
     // replica of its range.  The forward keeps the incoming chunk's epoch:
     // the tuples are the original sender's incarnation, not this node's.
     chunks_forwarded_ +=
-        ship(handoff_target_, chunk.tuples, chunk.rel, schema, epoch);
+        ship_batch(handoff_target_, chunk.batch, chunk.rel, schema, epoch);
     return;
   }
 
-  // Partition the chunk into tuples we own and tuples given away in splits
-  // (stale-source routing); ship the latter hop-by-hop.
+  // Partition pass over the batch's position column: tuples we own stay,
+  // tuples given away in splits (stale-source routing) ship hop-by-hop.
+  // The common case -- every position owned -- inserts the incoming batch
+  // wholesale without copying a row.
   const PosRange owned = spiller_ ? spiller_->range() : table_->range();
-  std::vector<Tuple> mine;
-  mine.reserve(chunk.tuples.size());
-  std::map<ActorId, std::vector<Tuple>> foreign;
-  for (const Tuple& t : chunk.tuples) {
-    const std::uint64_t pos = position_of(t.key);
-    if (owned.contains(pos)) {
-      mine.push_back(t);
-      continue;
-    }
-    ActorId target = kInvalidActor;
-    for (const auto& [range, actor] : forward_table_) {
-      if (range.contains(pos)) {
-        target = actor;
-        break;
-      }
-    }
-    EHJA_CHECK_MSG(target != kInvalidActor,
-                   "build tuple for a range this node never owned");
-    foreign[target].push_back(t);
+  std::size_t owned_rows = 0;
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    if (owned.contains(chunk.batch.position(i))) ++owned_rows;
   }
-  for (auto& [target, tuples] : foreign) {
-    chunks_forwarded_ +=
-        ship(target, std::move(tuples), chunk.rel, schema, epoch);
+  TupleBatch mine_rows;
+  const TupleBatch* mine = &chunk.batch;
+  if (owned_rows != chunk.size()) {
+    mine_rows.reserve(owned_rows);
+    std::map<ActorId, TupleBatch> foreign;
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      const std::uint64_t pos = chunk.batch.position(i);
+      if (owned.contains(pos)) {
+        mine_rows.append_row(chunk.batch, i);
+        continue;
+      }
+      ActorId target = kInvalidActor;
+      for (const auto& [range, actor] : forward_table_) {
+        if (range.contains(pos)) {
+          target = actor;
+          break;
+        }
+      }
+      EHJA_CHECK_MSG(target != kInvalidActor,
+                     "build tuple for a range this node never owned");
+      foreign[target].append_row(chunk.batch, i);
+    }
+    for (auto& [target, rows] : foreign) {
+      chunks_forwarded_ += ship_batch(target, rows, chunk.rel, schema, epoch);
+    }
+    mine = &mine_rows;
   }
 
   if (spiller_) {
     double seconds = 0.0;
-    for (const Tuple& t : mine) seconds += spiller_->add_build(t);
+    for (std::size_t i = 0; i < mine->size(); ++i) {
+      seconds += spiller_->add_build(mine->tuple(i));
+    }
     charge(seconds);
     return;
   }
-  charge(static_cast<double>(mine.size()) * config_->cost.tuple_insert_sec);
-  for (const Tuple& t : mine) table_->insert(t);
+  charge(static_cast<double>(mine->size()) * config_->cost.tuple_insert_sec);
+  table_->insert_batch(*mine);
   after_insert_overflow_check();
   // Periodic memory sample for the trace (chunks 1, 5, 9, ...).
   if (config_->trace != nullptr && (chunks_received_ & 3u) == 1) {
@@ -273,24 +285,19 @@ void JoinProcessActor::handle_probe_chunk(const Chunk& chunk) {
   probe_tuples_ += chunk.size();
   if (spiller_) {
     double seconds = 0.0;
-    for (const Tuple& t : chunk.tuples) {
-      seconds += spiller_->add_probe(t, result_);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      seconds += spiller_->add_probe(chunk.batch.tuple(i), result_);
     }
     charge(seconds);
     return;
   }
-  double seconds = 0.0;
-  for (const Tuple& t : chunk.tuples) {
-    const auto probe = table_->probe(t);
-    result_.matches += probe.matches;
-    result_.checksum += probe.checksum_delta;
-    seconds += config_->cost.tuple_probe_sec +
-               static_cast<double>(probe.comparisons) *
-                   config_->cost.tuple_compare_sec +
-               static_cast<double>(probe.matches) *
-                   config_->cost.match_emit_sec;
-  }
-  charge(seconds);
+  const auto agg = table_->probe_batch(chunk.batch);
+  result_.matches += agg.matches;
+  result_.checksum += agg.checksum_delta;
+  charge(static_cast<double>(agg.probed) * config_->cost.tuple_probe_sec +
+         static_cast<double>(agg.comparisons) *
+             config_->cost.tuple_compare_sec +
+         static_cast<double>(agg.matches) * config_->cost.match_emit_sec);
 }
 
 void JoinProcessActor::handle_split_request(const SplitRequestPayload& req) {
@@ -395,20 +402,30 @@ void JoinProcessActor::enter_spill_mode() {
 std::uint64_t JoinProcessActor::ship(ActorId target, std::vector<Tuple> tuples,
                                      RelTag rel, const Schema& schema,
                                      std::uint64_t epoch) {
-  EHJA_CHECK(target != kInvalidActor);
   if (tuples.empty()) return 0;
-  charge(static_cast<double>(tuples.size()) * config_->cost.tuple_pack_sec);
+  return ship_batch(target, TupleBatch::from_tuples(tuples), rel, schema,
+                    epoch);
+}
+
+std::uint64_t JoinProcessActor::ship_batch(ActorId target,
+                                           const TupleBatch& batch, RelTag rel,
+                                           const Schema& schema,
+                                           std::uint64_t epoch) {
+  EHJA_CHECK(target != kInvalidActor);
+  if (batch.empty()) return 0;
+  charge(static_cast<double>(batch.size()) * config_->cost.tuple_pack_sec);
   std::uint64_t chunks = 0;
   std::size_t offset = 0;
-  while (offset < tuples.size()) {
+  // Bulk re-chunk: each outgoing chunk is a contiguous column slice.
+  while (offset < batch.size()) {
     const std::size_t n =
-        std::min<std::size_t>(config_->chunk_tuples, tuples.size() - offset);
+        std::min<std::size_t>(config_->chunk_tuples, batch.size() - offset);
     ChunkPayload payload;
     payload.forwarded = true;
     payload.epoch = epoch;
     payload.chunk.rel = rel;
-    payload.chunk.tuples.assign(tuples.begin() + offset,
-                                tuples.begin() + offset + n);
+    payload.chunk.batch.reserve(n);
+    payload.chunk.batch.append_range(batch, offset, offset + n);
     const std::size_t wire = chunk_wire_bytes(payload.chunk, schema);
     send(target, make_message(Tag::kDataChunk, std::move(payload), wire));
     offset += n;

@@ -91,6 +91,10 @@ class JoinProcessActor final : public Actor {
   /// of this node's own table carry the node's current epoch.
   std::uint64_t ship(ActorId target, std::vector<Tuple> tuples, RelTag rel,
                      const Schema& schema, std::uint64_t epoch);
+  /// Batch form: re-chunks `batch` into contiguous column slices of at
+  /// most chunk_tuples rows each (no per-tuple copies).
+  std::uint64_t ship_batch(ActorId target, const TupleBatch& batch, RelTag rel,
+                           const Schema& schema, std::uint64_t epoch);
   std::uint64_t budget() const;
   void note_overshoot();
 

@@ -8,10 +8,26 @@
 // position.  (Under the paper's extreme-skew workloads a position can hold
 // tens of thousands of distinct keys; a real implementation re-hashes them
 // locally, and so must the model, or probe CPU would dwarf every effect the
-// paper measures.)  Chains are sorted lazily on first probe and re-sorted
-// after mutation; ProbeResult::comparisons reports the binary-search plus
-// match comparisons actually performed, which the caller charges to the
-// cost model.
+// paper measures.)
+//
+// Storage is a flat entry slab with per-position chain heads (one 8-byte
+// ChainRef per owned position) -- no per-chain allocations.  Exact-key
+// lookup goes through a table-wide open-addressing index over the join
+// attribute, built lazily at the first probe and maintained incrementally
+// by later inserts (the dynamic hybrid-hash spiller interleaves the two);
+// range surgery that removes entries (extract_range, clear) invalidates the
+// index and the next probe rebuilds it from the chains.  This replaces the
+// earlier per-chain lazy sort.  ProbeResult::comparisons still reports what
+// the modeled 2004 structure pays -- a binary search over the position's
+// chain plus one comparison per match -- which the caller charges to the
+// cost model; the index is the lookup mechanism, not the cost model.
+//
+// The batch interface (insert_batch / probe_batch) consumes columnar
+// TupleBatches: positions come from the batch's precomputed hash column and
+// the loops prefetch the chain-head and index cache lines a few rows ahead,
+// which is where the bulk path's throughput over tuple-at-a-time calls
+// comes from.  Results are bit-identical to the scalar calls
+// (tests/test_hash.cpp fuzzes the equivalence).
 //
 // The memory *footprint* is byte-accurate against the declared schema
 // (payload included plus per-entry overhead) even though payload bytes are
@@ -21,6 +37,8 @@
 // Range surgery -- extract_range() for split migration, reshuffle and spill
 // eviction, set_range() after a reshuffle -- returns the removed tuples so
 // the caller can re-chunk and ship them, keeping accounting exact.
+// (Removed slab entries are reclaimed on clear(), not eagerly; the slab
+// high-water mark is bounded by the tuples this node ever inserted.)
 #pragma once
 
 #include <cstdint>
@@ -28,6 +46,7 @@
 
 #include "hash/hash_family.hpp"
 #include "relation/tuple.hpp"
+#include "relation/tuple_batch.hpp"
 #include "util/histogram.hpp"
 
 namespace ehja {
@@ -45,15 +64,31 @@ class LocalHashTable {
   /// Insert a build tuple whose position must lie inside range().
   void insert(const Tuple& t);
 
+  /// Bulk insert of a whole batch (positions come from the batch's
+  /// precomputed hash column; every one must lie inside range()).
+  void insert_batch(const TupleBatch& batch);
+
   struct ProbeResult {
     std::uint64_t matches = 0;         // matches found for this tuple
     std::uint64_t comparisons = 0;     // key comparisons performed (cost)
     std::uint64_t checksum_delta = 0;  // sum of match signatures
   };
 
-  /// Probe with one tuple of the second relation.  (Lazily sorts the
-  /// touched chain, hence non-const.)
+  /// Aggregate over a whole batch; each field is exactly the sum of the
+  /// per-tuple ProbeResults the scalar path would have produced.
+  struct BatchProbeResult {
+    std::uint64_t probed = 0;
+    std::uint64_t matches = 0;
+    std::uint64_t comparisons = 0;
+    std::uint64_t checksum_delta = 0;
+  };
+
+  /// Probe with one tuple of the second relation.  (Lazily builds the key
+  /// index, hence non-const.)
   ProbeResult probe(const Tuple& s);
+
+  /// Bulk probe with every tuple of `batch`.
+  BatchProbeResult probe_batch(const TupleBatch& batch);
 
   /// Remove and return every tuple whose position lies in `sub` (must be
   /// inside range()); footprint shrinks accordingly.
@@ -70,23 +105,54 @@ class LocalHashTable {
   void clear();
 
  private:
-  struct Chain {
-    std::vector<Tuple> tuples;
-    bool sorted = false;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// One stored tuple plus its two intrusive links: the per-position chain
+  /// (newest first) and the index's same-key list.  The no-op default
+  /// constructor keeps vector::resize from zero-filling slab segments the
+  /// bulk insert is about to overwrite anyway.
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t key;
+    std::uint32_t chain_next;
+    std::uint32_t key_next;
+
+    Entry() {}  // intentionally uninitialized
+    Entry(std::uint64_t id_, std::uint64_t key_, std::uint32_t chain_next_,
+          std::uint32_t key_next_)
+        : id(id_), key(key_), chain_next(chain_next_), key_next(key_next_) {}
   };
 
-  Chain& chain(std::uint64_t pos) {
+  struct ChainRef {
+    std::uint32_t head = kNil;
+    std::uint32_t count = 0;
+  };
+
+  ChainRef& chain(std::uint64_t pos) {
     return chains_[static_cast<std::size_t>(pos - range_.lo)];
   }
-  const Chain& chain(std::uint64_t pos) const {
+  const ChainRef& chain(std::uint64_t pos) const {
     return chains_[static_cast<std::size_t>(pos - range_.lo)];
   }
+
+  void ensure_index();
+  void rebuild_index();
+  /// Link slab entry `e` into the index, growing the slot array as needed.
+  void index_insert(std::uint32_t e);
+  /// Head of the same-key list for `key`, or kNil.
+  std::uint32_t index_find(std::uint64_t key) const;
 
   Schema schema_;
   PosRange range_;
   std::uint64_t tuple_count_ = 0;
   std::uint64_t footprint_bytes_ = 0;
-  std::vector<Chain> chains_;  // one per owned position
+  std::vector<Entry> slab_;       // unlinked entries stay until clear()
+  std::vector<ChainRef> chains_;  // one per owned position
+  // Open-addressing key index: slot -> head entry of a same-key list.
+  std::vector<std::uint32_t> index_slots_;  // power-of-two size
+  std::size_t index_mask_ = 0;
+  std::uint64_t index_keys_ = 0;  // distinct keys indexed (load factor)
+  bool index_built_ = false;
 };
 
 }  // namespace ehja

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "util/assert.hpp"
+#include "util/math.hpp"
 
 namespace ehja {
 
@@ -145,8 +146,8 @@ double HybridHashSpiller::join_partition(Partition& part, JoinResult& acc) {
   }
   const std::uint64_t r_footprint =
       part.r_tuples.size() * tuple_footprint(schema_);
-  const std::size_t passes = static_cast<std::size_t>(
-      (r_footprint + budget_ - 1) / budget_);
+  const std::size_t passes =
+      static_cast<std::size_t>(ceil_div(r_footprint, budget_));
   const std::size_t n = part.r_tuples.size();
   for (std::size_t f = 0; f < passes; ++f) {
     const std::size_t begin = n * f / passes;

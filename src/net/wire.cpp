@@ -298,27 +298,33 @@ bool decode(Reader& r, PosRange& v) {
   return r.ok();
 }
 
+// Chunks are encoded columnar (all row ids, then all join attributes) so
+// the codec streams each column of the batch sequentially; the derived
+// position column is recomputed on decode rather than shipped.
 void encode(Writer& w, const Chunk& v) {
   w.u8(static_cast<std::uint8_t>(v.rel));
-  w.varint(v.tuples.size());
-  for (const Tuple& t : v.tuples) {
-    w.varint(t.id);
-    w.varint(t.key);
-  }
+  const std::size_t n = v.batch.size();
+  w.varint(n);
+  for (std::size_t i = 0; i < n; ++i) w.varint(v.batch.id(i));
+  for (std::size_t i = 0; i < n; ++i) w.varint(v.batch.key(i));
 }
 
 bool decode(Reader& r, Chunk& v) {
   if (!read_enum(r, v.rel, 1)) return false;
   const std::uint64_t count = r.varint();
   if (!r.can_hold(count, 2)) return false;
-  v.tuples.clear();
-  v.tuples.reserve(static_cast<std::size_t>(count));
+  std::vector<std::uint64_t> ids;
+  ids.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
-    Tuple t;
-    t.id = r.varint();
-    t.key = r.varint();
+    ids.push_back(r.varint());
     if (!r.ok()) return false;
-    v.tuples.push_back(t);
+  }
+  v.batch.clear();
+  v.batch.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t key = r.varint();
+    if (!r.ok()) return false;
+    v.batch.append(ids[static_cast<std::size_t>(i)], key);
   }
   return true;
 }

@@ -37,14 +37,16 @@
 
 #include "core/config.hpp"
 #include "core/messages.hpp"
+#include "net/wire_format.hpp"
 #include "runtime/message.hpp"
 
 namespace ehja::wire {
 
 /// Wire protocol version; bumped on any incompatible layout change.  A
 /// version mismatch is a decode error (mixed-build clusters must fail the
-/// handshake, not misinterpret frames).
-inline constexpr std::uint8_t kWireVersion = 1;
+/// handshake, not misinterpret frames).  v2: chunk bodies switched from
+/// row-interleaved to columnar encoding (ids column, then keys column).
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) over `size` bytes.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
@@ -214,7 +216,8 @@ enum class FrameKind : std::uint8_t {
 
 /// Frame header: magic u32 | version u8 | kind u8 | reserved u16 |
 /// body_len u32 | crc32(body) u32 -- 16 bytes, all little-endian.
-inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// (kFrameHeaderBytes lives in net/wire_format.hpp so relation/chunk.hpp
+/// can model transport overhead without depending on the codec.)
 inline constexpr std::uint32_t kFrameMagic = 0x454A4857;  // "WHJE" LE
 /// Upper bound on one frame body; a corrupt length past this is an error,
 /// not an allocation (biggest legitimate frame: a data chunk, ~2 MB).

@@ -2,27 +2,35 @@
 //
 // Data sources batch tuples into fixed-capacity chunks before sending them
 // to join processes (paper: "per chunk = 10000 tuples").  Figures 4 and 11
-// measure communication volume in these chunks.
+// measure communication volume in these chunks.  A chunk is a columnar
+// TupleBatch plus the relation tag; every hop (source routing, join-process
+// partitioning, wire codec) streams the batch's columns rather than
+// re-materializing rows.
 #pragma once
 
 #include <cstddef>
-#include <vector>
 
+#include "net/wire_format.hpp"
 #include "relation/tuple.hpp"
+#include "relation/tuple_batch.hpp"
+#include "util/math.hpp"
 
 namespace ehja {
 
 struct Chunk {
   RelTag rel = RelTag::kR;
-  std::vector<Tuple> tuples;
+  TupleBatch batch;
 
-  std::size_t size() const { return tuples.size(); }
-  bool empty() const { return tuples.empty(); }
+  std::size_t size() const { return batch.size(); }
+  bool empty() const { return batch.empty(); }
 
-  /// On-wire size: a small header plus the full (payload-included) tuple
-  /// encoding.
+  /// On-wire size: the socket runtime's frame header plus the modeled
+  /// message/chunk envelope plus the full (payload-included) tuple
+  /// encoding.  Derived from the actual net/wire framing constants so the
+  /// simulated byte counts agree with what the socket runtime ships.
   std::size_t wire_bytes(const Schema& schema) const {
-    return 64 + tuples.size() * schema.tuple_bytes;
+    return wire::kFrameHeaderBytes + wire::kChunkEnvelopeBytes +
+           batch.size() * schema.tuple_bytes;
   }
 };
 
@@ -30,7 +38,7 @@ struct Chunk {
 /// the unit of Figures 4 and 11.
 inline std::uint64_t chunks_for(std::uint64_t tuples,
                                 std::uint64_t tuples_per_chunk) {
-  return (tuples + tuples_per_chunk - 1) / tuples_per_chunk;
+  return ceil_div(tuples, tuples_per_chunk);
 }
 
 }  // namespace ehja

@@ -3,7 +3,10 @@
 namespace ehja {
 
 void Relation::append(const Chunk& chunk) {
-  tuples_.insert(tuples_.end(), chunk.tuples.begin(), chunk.tuples.end());
+  tuples_.reserve(tuples_.size() + chunk.size());
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    tuples_.push_back(chunk.batch.tuple(i));
+  }
 }
 
 }  // namespace ehja

@@ -1,0 +1,15 @@
+// Small integer helpers shared across layers.
+#pragma once
+
+#include <cstdint>
+
+namespace ehja {
+
+/// Ceiling division: smallest n with n * b >= a (b > 0).  The single home
+/// of the rounding used for chunk counts (relation/chunk.hpp) and
+/// multi-pass out-of-core fragments (join/grace_join.cpp).
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return a == 0 ? 0 : 1 + (a - 1) / b;
+}
+
+}  // namespace ehja

@@ -76,7 +76,7 @@ TEST(MessageTest, SignalHasNoPayload) {
 
 TEST(MessageTest, SharedPayloadAcrossCopies) {
   ChunkPayload payload;
-  payload.chunk.tuples.resize(100);
+  for (int i = 0; i < 100; ++i) payload.chunk.batch.append(i, i);
   const Message original = make_message(Tag::kDataChunk, std::move(payload),
                                         1000);
   const Message copy = original;  // broadcast-style copy

@@ -89,7 +89,7 @@ TEST(DataSourceTest, RoutesByPositionToActiveOwner) {
   fx.drain_generation();
   for (const auto& sent : fx.rt->sent_with_tag(Tag::kDataChunk)) {
     const auto& chunk = sent.msg.as<ChunkPayload>().chunk;
-    for (const Tuple& t : chunk.tuples) {
+    for (const Tuple& t : chunk.batch) {
       const bool lower = position_of(t.key) < kPositionCount / 2;
       EXPECT_EQ(sent.to, lower ? 10 : 11);
     }

@@ -83,7 +83,9 @@ TEST(LinearHashMapTest, AtMostTwoBucketWidthsExist) {
     std::sort(widths.begin(), widths.end());
     widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
     EXPECT_LE(widths.size(), 2u);
-    if (widths.size() == 2) EXPECT_EQ(widths[0] * 2, widths[1]);
+    if (widths.size() == 2) {
+      EXPECT_EQ(widths[0] * 2, widths[1]);
+    }
   }
 }
 
@@ -279,6 +281,88 @@ TEST(LocalHashTableTest, ClearResetsEverything) {
   table.clear();
   EXPECT_EQ(table.tuple_count(), 0u);
   EXPECT_EQ(table.footprint_bytes(), 0u);
+}
+
+// ------------------------------------------ scalar/batched equivalence fuzz
+//
+// insert_batch/probe_batch must be byte-identical to driving the scalar
+// calls tuple by tuple: same matches, comparisons, checksum, footprint, and
+// the same extracted tuples in the same order.  The fuzz drives two tables
+// through random interleavings of batch inserts, probes, and extract_range
+// surgery (which invalidates the lazy key index) over random ranges and
+// both uniform and heavily skewed position distributions.
+
+/// Random batch whose positions all lie in `range`; `hot_positions` > 0
+/// concentrates all rows onto that many distinct positions (skew), and a
+/// quarter of the keys are duplicated to exercise same-key match lists.
+TupleBatch random_batch(SplitMix64& rng, const PosRange& range,
+                        std::size_t rows, std::size_t hot_positions) {
+  TupleBatch batch;
+  batch.reserve(rows);
+  std::uint64_t last_key = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t pos = range.lo + rng.next_u64() % range.width();
+    if (hot_positions > 0) {
+      pos = range.lo + rng.next_u64() % hot_positions;
+    }
+    std::uint64_t key = (pos << (64 - kPositionBits)) |
+                        (rng.next_u64() & ((1ull << (64 - kPositionBits)) - 1));
+    if (i > 0 && rng.next_u64() % 4 == 0) key = last_key;  // duplicate key
+    last_key = key;
+    batch.append(rng.next_u64(), key);
+  }
+  return batch;
+}
+
+TEST(BatchEquivalenceFuzz, InsertProbeExtractInterleavings) {
+  SplitMix64 rng(2026);
+  for (int round = 0; round < 24; ++round) {
+    // Random owned range, sometimes not starting at zero.
+    const std::uint64_t lo = (rng.next_u64() % 8) * 1000;
+    const std::uint64_t width = 64 + rng.next_u64() % 4000;
+    const PosRange range{lo, lo + width};
+    const Schema schema{100};
+    LocalHashTable scalar_table(schema, range);
+    LocalHashTable batched_table(schema, range);
+    const std::size_t hot = (round % 3 == 0) ? 1 + rng.next_u64() % 5 : 0;
+
+    for (int step = 0; step < 12; ++step) {
+      const std::uint64_t op = rng.next_u64() % 4;
+      if (op <= 1) {  // build batch
+        const auto batch =
+            random_batch(rng, range, 1 + rng.next_u64() % 500, hot);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          scalar_table.insert(batch.tuple(i));
+        }
+        batched_table.insert_batch(batch);
+      } else if (op == 2) {  // probe batch
+        const auto batch =
+            random_batch(rng, range, 1 + rng.next_u64() % 500, hot);
+        LocalHashTable::BatchProbeResult want;
+        want.probed = batch.size();
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const auto r = scalar_table.probe(batch.tuple(i));
+          want.matches += r.matches;
+          want.comparisons += r.comparisons;
+          want.checksum_delta += r.checksum_delta;
+        }
+        const auto got = batched_table.probe_batch(batch);
+        EXPECT_EQ(got.probed, want.probed);
+        EXPECT_EQ(got.matches, want.matches);
+        EXPECT_EQ(got.comparisons, want.comparisons);
+        EXPECT_EQ(got.checksum_delta, want.checksum_delta);
+      } else {  // extract a random sub-range from both
+        const std::uint64_t a = lo + rng.next_u64() % width;
+        const std::uint64_t b = lo + rng.next_u64() % width;
+        const PosRange sub{std::min(a, b), std::max(a, b) + 1};
+        EXPECT_EQ(scalar_table.extract_range(sub),
+                  batched_table.extract_range(sub));
+      }
+      EXPECT_EQ(scalar_table.tuple_count(), batched_table.tuple_count());
+      EXPECT_EQ(scalar_table.footprint_bytes(),
+                batched_table.footprint_bytes());
+    }
+  }
 }
 
 }  // namespace

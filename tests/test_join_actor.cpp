@@ -51,7 +51,7 @@ struct Fixture {
     Chunk chunk;
     chunk.rel = RelTag::kR;
     for (std::size_t i = 0; i < n; ++i) {
-      chunk.tuples.push_back(
+      chunk.batch.push_back(
           Tuple{id_base + i, (first_pos + i % 64) << (64 - kPositionBits)});
     }
     return chunk;
@@ -174,8 +174,8 @@ TEST(JoinActorTest, StaleChunksReRoutedAfterSplit) {
   Chunk mixed;
   mixed.rel = RelTag::kR;
   for (std::uint64_t i = 0; i < 10; ++i) {
-    mixed.tuples.push_back(Tuple{i, (100 + i) << (64 - kPositionBits)});
-    mixed.tuples.push_back(Tuple{100 + i, (700 + i) << (64 - kPositionBits)});
+    mixed.batch.push_back(Tuple{i, (100 + i) << (64 - kPositionBits)});
+    mixed.batch.push_back(Tuple{100 + i, (700 + i) << (64 - kPositionBits)});
   }
   fx.deliver_chunk(std::move(mixed));
   EXPECT_EQ(fx.actor->build_tuples_held(), 10u);  // lower half kept
@@ -275,7 +275,7 @@ TEST(JoinActorDeathTest, ForeignTupleWithoutForwardEntryAborts) {
   fx.init(PosRange{0, 512});
   Chunk wrong;
   wrong.rel = RelTag::kR;
-  wrong.tuples.push_back(Tuple{1, std::uint64_t{900} << (64 - kPositionBits)});
+  wrong.batch.push_back(Tuple{1, std::uint64_t{900} << (64 - kPositionBits)});
   ChunkPayload payload;
   payload.chunk = std::move(wrong);
   EXPECT_DEATH(fx.rt->deliver_from(

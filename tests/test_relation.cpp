@@ -21,9 +21,11 @@ TEST(SchemaTest, TupleFootprintIncludesOverhead) {
 
 TEST(ChunkTest, WireBytesScaleWithSchema) {
   Chunk chunk;
-  chunk.tuples.resize(10);
-  EXPECT_EQ(chunk.wire_bytes(Schema{100}), 64u + 1000u);
-  EXPECT_EQ(chunk.wire_bytes(Schema{400}), 64u + 4000u);
+  for (int i = 0; i < 10; ++i) chunk.batch.append(i, i);
+  constexpr std::size_t kHeader =
+      wire::kFrameHeaderBytes + wire::kChunkEnvelopeBytes;
+  EXPECT_EQ(chunk.wire_bytes(Schema{100}), kHeader + 1000u);
+  EXPECT_EQ(chunk.wire_bytes(Schema{400}), kHeader + 4000u);
 }
 
 TEST(ChunkTest, ChunksForRoundsUp) {
@@ -38,7 +40,7 @@ TEST(RelationTest, AppendChunk) {
   Relation rel(RelTag::kR, Schema{100});
   Chunk chunk;
   chunk.rel = RelTag::kR;
-  chunk.tuples = {{1, 10}, {2, 20}};
+  chunk.batch = TupleBatch::from_tuples({{1, 10}, {2, 20}});
   rel.append(chunk);
   ASSERT_EQ(rel.size(), 2u);
   EXPECT_EQ(rel[1].key, 20u);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/histogram.hpp"
+#include "util/math.hpp"
 #include "util/partition.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -257,6 +258,19 @@ TEST(RunningStatsTest, SummarizeVector) {
   const auto stats = summarize(std::vector<std::uint64_t>{2, 4, 6});
   EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
   EXPECT_DOUBLE_EQ(stats.sum(), 12.0);
+}
+
+// --------------------------------------------------------------------- math
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 7), 0u);
+  EXPECT_EQ(ceil_div(1, 7), 1u);
+  EXPECT_EQ(ceil_div(7, 7), 1u);
+  EXPECT_EQ(ceil_div(8, 7), 2u);
+  EXPECT_EQ(ceil_div(14, 7), 2u);
+  EXPECT_EQ(ceil_div(~0ull, 1), ~0ull);           // no intermediate overflow
+  EXPECT_EQ(ceil_div(~0ull, ~0ull), 1u);
+  static_assert(ceil_div(10, 3) == 4);             // usable in constant context
 }
 
 // -------------------------------------------------------------------- units
