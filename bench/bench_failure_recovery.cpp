@@ -1,16 +1,27 @@
-// Recovery-cost comparison: what does one node failure cost each expansion
-// strategy?
+// Recovery-cost comparison: what does one process failure cost each
+// expansion strategy, per failed *role*?
 //
 // The paper's algorithms differ in how much state a dead node takes with it
 // (a split range lives on exactly one node; a replicated range has live
 // temporal shards elsewhere) and in how much of the run remains to amortize
-// the rebuild.  This bench injects one fail-stop kill per scenario --
-// early build, late build, mid-probe -- into each strategy and reports the
-// slowdown against that strategy's own fault-free (detector-armed) run,
-// plus the recovery protocol's internals: detection latency, recovery wall
-// time, and replayed tuple volume (EXPERIMENTS.md "Recovery cost").
+// the rebuild.  PR-7 widened the fault surface beyond join processes, so
+// this bench now kills each of the three roles in turn:
+//   join       -- one owner's partition state dies (surgical or wipe);
+//   source     -- an input slice vanishes mid-stream and is reassigned to a
+//                 fresh source with the same deterministic stream index;
+//   scheduler  -- the active coordinator dies and the standby promotes from
+//                 its last checkpoint, then wipe-recovers.
+// Each scenario reports the slowdown against that strategy's own fault-free
+// (detector-and-standby-armed) run, plus the protocol internals: detection
+// latency, false-positive detections, recovery wall time, and replayed
+// tuple volume (EXPERIMENTS.md "Recovery cost").  Results also go to a JSON
+// file (default BENCH_failure_recovery.json) for CI artifact tracking.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -21,69 +32,170 @@ using namespace ehja::bench;
 
 struct Scenario {
   const char* label;
+  KillRole role;
   bool probe_phase;       // kill at the probe midpoint instead of the build
-  double build_fraction;  // build kills: fraction of the victim's chunks
+  double build_fraction;  // build kills: fraction of the victim's stream
 };
 
 constexpr Scenario kScenarios[] = {
-    {"early build (25% received)", false, 0.25},
-    {"late build (75% received)", false, 0.75},
-    {"mid-probe", true, 0.0},
+    {"join, early build (25% received)", KillRole::kJoin, false, 0.25},
+    {"join, late build (75% received)", KillRole::kJoin, false, 0.75},
+    {"join, mid-probe", KillRole::kJoin, true, 0.0},
+    {"source, mid-build (50% sent)", KillRole::kSource, false, 0.5},
+    {"source, mid-probe", KillRole::kSource, true, 0.0},
+    {"scheduler, mid-build", KillRole::kScheduler, false, 0.5},
+    {"scheduler, mid-probe", KillRole::kScheduler, true, 0.0},
 };
 
-void run_algorithm(Algorithm algorithm, const EhjaConfig& base) {
+struct ScenarioResult {
+  const Scenario* scenario = nullptr;
+  RunMetrics metrics;
+  double slowdown_pct = 0.0;
+};
+
+struct AlgorithmResult {
+  Algorithm algorithm;
+  double fault_free_sec = 0.0;
+  std::vector<ScenarioResult> scenarios;
+};
+
+const char* role_name(KillRole role) {
+  switch (role) {
+    case KillRole::kJoin: return "join";
+    case KillRole::kSource: return "source";
+    case KillRole::kScheduler: return "scheduler";
+  }
+  return "?";
+}
+
+AlgorithmResult run_algorithm(Algorithm algorithm, const EhjaConfig& base) {
   EhjaConfig config = base;
   config.algorithm = algorithm;
 
-  // Fault-free reference with the detector armed, so heartbeat overhead is
-  // in both columns and the delta is purely the failure's cost.
+  // Fault-free reference with the detector armed and the standby running,
+  // so heartbeat + checkpoint overhead is in both columns and the delta is
+  // purely the failure's cost.
   EhjaConfig armed = config;
   armed.ft.force_enabled = true;
   const RunResult clean = run(armed);
 
+  AlgorithmResult out;
+  out.algorithm = algorithm;
+  out.fault_free_sec = clean.metrics.total_time();
   std::printf("  %-12s fault-free %8.2fs\n", algorithm_name(algorithm),
-              clean.metrics.total_time());
+              out.fault_free_sec);
 
-  const std::uint64_t victim_chunks = config.build_rel.tuple_count /
+  const std::uint64_t join_chunks = config.build_rel.tuple_count /
+                                    config.chunk_tuples /
+                                    config.initial_join_nodes;
+  const std::uint64_t source_chunks = config.build_rel.tuple_count /
                                       config.chunk_tuples /
-                                      config.initial_join_nodes;
+                                      config.data_sources;
   for (const Scenario& scenario : kScenarios) {
     EhjaConfig faulty = config;
     KillSpec kill;
+    kill.role = scenario.role;
     kill.pool_index = 1;
-    if (scenario.probe_phase) {
-      kill.at_time = clean.metrics.t_reshuffle_end +
-                     0.5 * (clean.metrics.t_probe_end -
-                            clean.metrics.t_reshuffle_end);
-    } else {
-      kill.after_chunks = static_cast<std::uint64_t>(
-          static_cast<double>(victim_chunks) * scenario.build_fraction);
-      if (kill.after_chunks == 0) kill.after_chunks = 1;
+    const double mid_probe =
+        clean.metrics.t_reshuffle_end +
+        0.5 * (clean.metrics.t_probe_end - clean.metrics.t_reshuffle_end);
+    switch (scenario.role) {
+      case KillRole::kJoin:
+        if (scenario.probe_phase) {
+          kill.at_time = mid_probe;
+        } else {
+          kill.after_chunks = static_cast<std::uint64_t>(
+              static_cast<double>(join_chunks) * scenario.build_fraction);
+        }
+        break;
+      case KillRole::kSource:
+        if (scenario.probe_phase) {
+          kill.at_time = mid_probe;
+        } else {
+          kill.after_chunks = static_cast<std::uint64_t>(
+              static_cast<double>(source_chunks) * scenario.build_fraction);
+        }
+        break;
+      case KillRole::kScheduler:
+        // The coordinator's progress is message-count, not chunk-count;
+        // time triggers pin the kill to the same phase midpoints instead.
+        kill.at_time = scenario.probe_phase
+                           ? mid_probe
+                           : 0.5 * clean.metrics.t_build_end;
+        break;
     }
+    if (kill.at_time == 0.0 && kill.after_chunks == 0) kill.after_chunks = 1;
     faulty.faults.kills.push_back(kill);
     const RunResult result = run(faulty);
     const RunMetrics& m = result.metrics;
+
+    ScenarioResult sr;
+    sr.scenario = &scenario;
+    sr.metrics = m;
+    sr.slowdown_pct = 100.0 * (m.total_time() / out.fault_free_sec - 1.0);
+    out.scenarios.push_back(sr);
+
     std::printf(
-        "     %-27s total=%8.2fs (+%5.1f%%) detect=%6.3fs recover=%7.3fs "
-        "replayed %llu R + %llu S\n",
-        scenario.label, m.total_time(),
-        100.0 * (m.total_time() / clean.metrics.total_time() - 1.0),
+        "     %-33s total=%8.2fs (+%5.1f%%) detect=%6.3fs fp=%llu "
+        "recover=%7.3fs replayed %llu R + %llu S\n",
+        scenario.label, m.total_time(), sr.slowdown_pct,
         m.failures_detected > 0
             ? m.detection_latency_total / m.failures_detected
             : 0.0,
+        static_cast<unsigned long long>(m.false_positive_deaths),
         m.recovery_time_total,
         static_cast<unsigned long long>(m.replayed_build_tuples),
         static_cast<unsigned long long>(m.replayed_probe_tuples));
   }
+  return out;
+}
+
+void write_json(const std::string& path, double scale,
+                const std::vector<AlgorithmResult>& results) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"failure_recovery\",\n  \"scale\": " << scale
+     << ",\n  \"algorithms\": {\n";
+  for (std::size_t a = 0; a < results.size(); ++a) {
+    const AlgorithmResult& ar = results[a];
+    os << "    \"" << algorithm_name(ar.algorithm) << "\": {\n"
+       << "      \"fault_free_sec\": " << ar.fault_free_sec << ",\n"
+       << "      \"scenarios\": [\n";
+    for (std::size_t s = 0; s < ar.scenarios.size(); ++s) {
+      const ScenarioResult& sr = ar.scenarios[s];
+      const RunMetrics& m = sr.metrics;
+      os << "        {\"label\": \"" << sr.scenario->label << "\", "
+         << "\"role\": \"" << role_name(sr.scenario->role) << "\", "
+         << "\"total_sec\": " << m.total_time() << ", "
+         << "\"slowdown_pct\": " << sr.slowdown_pct << ", "
+         << "\"detect_sec\": "
+         << (m.failures_detected > 0
+                 ? m.detection_latency_total / m.failures_detected
+                 : 0.0)
+         << ", "
+         << "\"false_positives\": " << m.false_positive_deaths << ", "
+         << "\"recover_sec\": " << m.recovery_time_total << ", "
+         << "\"scheduler_failovers\": " << m.scheduler_failovers << ", "
+         << "\"source_failures\": " << m.source_failures << ", "
+         << "\"replayed_build\": " << m.replayed_build_tuples << ", "
+         << "\"replayed_probe\": " << m.replayed_probe_tuples << "}"
+         << (s + 1 < ar.scenarios.size() ? ",\n" : "\n");
+    }
+    os << "      ]\n    }" << (a + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "  }\n}\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const double scale = scale_from_args(argc, argv, 0.25);
+  std::string out_path = "BENCH_failure_recovery.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
   std::printf("== bench_failure_recovery (scale=%.3g) ==\n", scale);
-  std::printf("one fail-stop kill of pool node 1; slowdown vs the same "
-              "strategy's detector-armed fault-free run\n\n");
+  std::printf("one fail-stop kill per scenario (join / source / scheduler "
+              "role); slowdown vs the same strategy's armed fault-free run\n\n");
 
   EhjaConfig base = paper_config(scale);
   // The detection timeout must outlast a recovering owner's rebuild burst,
@@ -91,8 +203,15 @@ int main(int argc, char** argv) {
   // share of the figure comparable across --scale values.
   base.ft.heartbeat_timeout_sec = std::max(1.0, 5.0 * scale);
   base.ft.heartbeat_interval_sec = base.ft.heartbeat_timeout_sec / 10.0;
+  // Scheduler scenarios need a promotion target; arming it everywhere keeps
+  // its checkpoint traffic out of the deltas.
+  base.ft.standby_scheduler = true;
+
+  std::vector<AlgorithmResult> results;
   for (const Algorithm algorithm : kStrategyAlgorithms) {
-    run_algorithm(algorithm, base);
+    results.push_back(run_algorithm(algorithm, base));
   }
+  write_json(out_path, scale, results);
+  std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

@@ -20,7 +20,12 @@
 //
 // Fault flags (same syntax as ehja_run) apply to every swept run, so the
 // ranking can be re-examined under injected failures:
-//   --kill-node=I@T | I@Kc    kill pool node I at time T / after K chunks
+//   --kill-node=[ROLE:]I@T | [ROLE:]I@Kc   kill a process at time T / after
+//                             K chunks; ROLE is join (default), source, or
+//                             sched (needs --standby)
+//   --detector=timeout|phi    failure-detector flavour
+//   --phi-threshold=X         phi-accrual suspicion threshold
+//   --standby                 run a standby scheduler
 //   --net-jitter=SEC          uniform extra per-message delivery delay
 //   --net-drop-prob=P         per-message drop-with-redelivery probability
 #include <cstdio>
@@ -36,6 +41,7 @@ namespace {
 
 struct FaultFlags {
   ehja::FaultPlan faults;
+  ehja::FaultToleranceConfig ft;
   double net_jitter_sec = 0.0;
   double net_drop_prob = 0.0;
 };
@@ -60,6 +66,7 @@ Outcome run_one(ehja::Algorithm algorithm, const ehja::DistributionSpec& dist,
   config.probe_rel.dist = dist;
   config.node_hash_memory_bytes = 8 * kMiB;
   config.faults = flags.faults;
+  config.ft = flags.ft;
   config.link.fault_jitter_sec = flags.net_jitter_sec;
   config.link.fault_drop_prob = flags.net_drop_prob;
   const RunResult result = run_ehja(config);
@@ -84,8 +91,20 @@ FaultFlags parse_fault_flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (match_flag(argv[i], "--kill-node", &value)) {
-      const auto at = value.find('@');
       ehja::KillSpec kill;
+      if (const auto colon = value.find(':'); colon != std::string::npos) {
+        const std::string role = value.substr(0, colon);
+        if (role == "join") kill.role = ehja::KillRole::kJoin;
+        else if (role == "source") kill.role = ehja::KillRole::kSource;
+        else if (role == "sched") kill.role = ehja::KillRole::kScheduler;
+        else {
+          std::fprintf(stderr, "skew_explorer: unknown kill role %s\n",
+                       role.c_str());
+          std::exit(2);
+        }
+        value = value.substr(colon + 1);
+      }
+      const auto at = value.find('@');
       kill.pool_index =
           static_cast<std::uint32_t>(std::atoi(value.substr(0, at).c_str()));
       const std::string trigger =
@@ -96,10 +115,23 @@ FaultFlags parse_fault_flags(int argc, char** argv) {
         kill.at_time = std::atof(trigger.c_str());
       }
       flags.faults.kills.push_back(kill);
+    } else if (match_flag(argv[i], "--detector", &value)) {
+      if (value == "timeout") flags.ft.detector = ehja::DetectorKind::kTimeout;
+      else if (value == "phi") {
+        flags.ft.detector = ehja::DetectorKind::kPhiAccrual;
+      } else {
+        std::fprintf(stderr, "skew_explorer: unknown detector %s\n",
+                     value.c_str());
+        std::exit(2);
+      }
+    } else if (match_flag(argv[i], "--phi-threshold", &value)) {
+      flags.ft.phi_threshold = std::atof(value.c_str());
     } else if (match_flag(argv[i], "--net-jitter", &value)) {
       flags.net_jitter_sec = std::atof(value.c_str());
     } else if (match_flag(argv[i], "--net-drop-prob", &value)) {
       flags.net_drop_prob = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--standby") == 0) {
+      flags.ft.standby_scheduler = true;
     } else {
       std::fprintf(stderr, "skew_explorer: unknown option %s\n", argv[i]);
       std::exit(2);

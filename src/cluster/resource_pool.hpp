@@ -33,6 +33,8 @@ class ResourcePool {
   void release(NodeId node);
 
   std::size_t available() const { return potential_.size(); }
+  /// Unclaimed nodes, in pool order (scheduler-failover snapshot input).
+  const std::vector<NodeId>& free_nodes() const { return potential_; }
   std::size_t acquired_count() const { return acquired_; }
   NodePickPolicy policy() const { return policy_; }
 

@@ -14,6 +14,23 @@ const char* split_variant_name(SplitVariant variant) {
   return "?";
 }
 
+const char* kill_role_name(KillRole role) {
+  switch (role) {
+    case KillRole::kJoin: return "join";
+    case KillRole::kSource: return "source";
+    case KillRole::kScheduler: return "scheduler";
+  }
+  return "?";
+}
+
+const char* detector_kind_name(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kTimeout: return "timeout";
+    case DetectorKind::kPhiAccrual: return "phi-accrual";
+  }
+  return "?";
+}
+
 const char* algorithm_name(Algorithm algorithm) {
   switch (algorithm) {
     case Algorithm::kSplit: return "split";
@@ -40,8 +57,21 @@ void EhjaConfig::validate() const {
   EHJA_CHECK(reshuffle_bins >= join_pool_nodes);
   EHJA_CHECK(spill_fanout >= 1);
   for (const KillSpec& kill : faults.kills) {
-    EHJA_CHECK_MSG(kill.pool_index < join_pool_nodes,
-                   "FaultPlan kill targets a node outside the join pool");
+    switch (kill.role) {
+      case KillRole::kJoin:
+        EHJA_CHECK_MSG(kill.pool_index < join_pool_nodes,
+                       "FaultPlan kill targets a node outside the join pool");
+        break;
+      case KillRole::kSource:
+        EHJA_CHECK_MSG(kill.pool_index < data_sources,
+                       "FaultPlan kill targets a nonexistent data source");
+        break;
+      case KillRole::kScheduler:
+        EHJA_CHECK_MSG(ft.standby_scheduler,
+                       "a scheduler kill needs ft.standby_scheduler (nobody "
+                       "else can finish the run)");
+        break;
+    }
     const bool time_trigger = kill.at_time >= 0.0;
     const bool chunk_trigger = kill.after_chunks > 0;
     EHJA_CHECK_MSG(time_trigger != chunk_trigger,
@@ -50,12 +80,29 @@ void EhjaConfig::validate() const {
   if (recovery_enabled()) {
     EHJA_CHECK(ft.heartbeat_interval_sec > 0.0);
     EHJA_CHECK(ft.heartbeat_timeout_sec > ft.heartbeat_interval_sec);
+    if (ft.detector == DetectorKind::kPhiAccrual) {
+      EHJA_CHECK(ft.phi_threshold > 0.0);
+    }
   }
+  if (ft.standby_scheduler) {
+    EHJA_CHECK_MSG(recovery_enabled(),
+                   "a standby scheduler without recovery machinery is dead "
+                   "weight; set ft.force_enabled or inject a fault");
+  }
+}
+
+NodeId EhjaConfig::kill_node_of(const KillSpec& kill) const {
+  switch (kill.role) {
+    case KillRole::kJoin: return pool_node(kill.pool_index);
+    case KillRole::kSource: return source_node(kill.pool_index);
+    case KillRole::kScheduler: return scheduler_node();
+  }
+  return scheduler_node();
 }
 
 const KillSpec* EhjaConfig::kill_for_node(NodeId node) const {
   for (const KillSpec& kill : faults.kills) {
-    if (pool_node(kill.pool_index) == node) return &kill;
+    if (kill_node_of(kill) == node) return &kill;
   }
   return nullptr;
 }
@@ -69,7 +116,9 @@ std::string EhjaConfig::to_string() const {
      << " mem=" << node_hash_memory_bytes / kMiB << "MiB"
      << " dist=" << build_rel.dist.to_string();
   if (recovery_enabled()) {
-    os << " ft=on kills=" << faults.kills.size();
+    os << " ft=on kills=" << faults.kills.size()
+       << " detector=" << detector_kind_name(ft.detector);
+    if (ft.standby_scheduler) os << " standby=on";
   }
   if (link.fault_drop_prob > 0.0 || link.fault_jitter_sec > 0.0) {
     os << " net-drop=" << link.fault_drop_prob

@@ -44,23 +44,52 @@ enum class SplitVariant : std::uint8_t {
 
 const char* split_variant_name(SplitVariant variant);
 
-/// One injected fail-stop crash of a join node.  Exactly one trigger must be
-/// set: a time trigger (`at_time` >= 0, virtual seconds under SimRuntime,
-/// wall seconds after run() under ThreadRuntime) or a progress trigger
-/// (`after_chunks` > 0: the node dies as its K-th data chunk arrives, which
-/// is the deterministic way to hit a build-phase point on both runtimes).
+/// Which process a KillSpec targets.  Join kills take out a pool node,
+/// source kills a data-source node (the deterministic TupleStream slice is
+/// reassigned to a pool recruit), scheduler kills the coordinator node (the
+/// standby scheduler promotes itself -- requires ft.standby_scheduler).
+enum class KillRole : std::uint8_t {
+  kJoin,       // a join pool node (index = pool_index)
+  kSource,     // a data-source node (index = source index)
+  kScheduler,  // the active scheduler's node (index ignored)
+};
+
+const char* kill_role_name(KillRole role);
+
+/// One injected fail-stop crash.  Exactly one trigger must be set: a time
+/// trigger (`at_time` >= 0, virtual seconds under SimRuntime, wall seconds
+/// after run() under ThreadRuntime) or a progress trigger (`after_chunks` >
+/// 0).  The progress trigger is role-specific so kill points are
+/// deterministic on every runtime: a join dies as its K-th data chunk
+/// arrives, a source dies as it is about to emit its K-th data chunk, and
+/// the scheduler dies as it processes its K-th protocol message.
 struct KillSpec {
-  std::uint32_t pool_index = 0;   // join node: EhjaConfig::pool_node(index)
+  KillRole role = KillRole::kJoin;
+  std::uint32_t pool_index = 0;   // pool index (kJoin) / source index (kSource)
   double at_time = -1.0;          // < 0 = disabled
   std::uint64_t after_chunks = 0; // 0 = disabled
 };
 
-/// Injected failures for one run.  Only join (pool) nodes may be killed;
-/// scheduler and source failures are out of scope (ROADMAP follow-up).
+/// Injected failures for one run.  Any single process of a run -- join
+/// node, data source, or the scheduler itself -- may be killed.
 struct FaultPlan {
   std::vector<KillSpec> kills;
   bool empty() const { return kills.empty(); }
 };
+
+/// Failure-detection flavour (core/failure_detector).
+enum class DetectorKind : std::uint8_t {
+  /// Fixed silence threshold: dead after heartbeat_timeout_sec of silence.
+  kTimeout,
+  /// Phi-accrual (Hayashibara et al.): per-node pong inter-arrival
+  /// distributions produce a continuous suspicion level; a node is declared
+  /// dead when phi exceeds ft.phi_threshold.  Fast on quiet links, and the
+  /// threshold is raised while a recovery pass is active so busy rebuilders
+  /// are not re-declared dead (the DESIGN.md §7 cascade).
+  kPhiAccrual,
+};
+
+const char* detector_kind_name(DetectorKind kind);
 
 /// Failure-detection knobs.  The heartbeat machinery (pings, pongs,
 /// per-message bookkeeping bytes) only runs when recovery is enabled, so
@@ -79,8 +108,21 @@ struct FaultToleranceConfig {
   /// more if it spills).  Declaring *that* node dead folds the recovery
   /// onto the next owner and can cascade through the whole pool, so the
   /// default is sized for the paper-scale workload; small test workloads
-  /// override both knobs downward for tighter detection latency.
+  /// override both knobs downward for tighter detection latency.  Under
+  /// kPhiAccrual this is the hard silence cap (phi can only *accelerate*
+  /// detection below it) and the fallback rule until enough samples exist.
   double heartbeat_timeout_sec = 5.0;
+  /// Which failure detector the scheduler runs.
+  DetectorKind detector = DetectorKind::kTimeout;
+  /// kPhiAccrual: suspicion threshold.  phi = -log10 P(a pong this silent
+  /// is still in flight), so 8 means a one-in-10^8 event.  Doubled while a
+  /// recovery pass is rebuilding partitions (busy-rebuilder guard).
+  double phi_threshold = 8.0;
+  /// Run a standby scheduler that mirrors the active scheduler's state via
+  /// snapshot messages and promotes itself when the active one dies.  Off
+  /// by default (adds one node and snapshot traffic to the timeline).
+  /// Required for KillRole::kScheduler faults.
+  bool standby_scheduler = false;
 };
 
 struct EhjaConfig {
@@ -160,15 +202,22 @@ struct EhjaConfig {
   /// (heartbeats, incarnation epochs, per-pair chunk accounting on the
   /// wire).  Off by default so fault-free runs reproduce the pre-recovery
   /// event timeline bit for bit.
-  bool recovery_enabled() const { return ft.force_enabled || !faults.empty(); }
+  bool recovery_enabled() const {
+    // A standby implies recovery: without heartbeats the active would never
+    // ping it and the standby's own detector would falsely promote.
+    return ft.force_enabled || ft.standby_scheduler || !faults.empty();
+  }
 
   /// First kill spec targeting cluster node `node`, or nullptr.
   const KillSpec* kill_for_node(NodeId node) const;
+  /// The cluster node a kill spec resolves to under the derived layout.
+  NodeId kill_node_of(const KillSpec& kill) const;
 
   // --- derived layout: node 0 = scheduler/front-end, then sources, then
-  // the join pool ---
+  // the join pool, then (optionally) the standby scheduler's node ---
   std::size_t total_nodes() const {
-    return 1 + data_sources + join_pool_nodes;
+    return 1 + data_sources + join_pool_nodes +
+           (ft.standby_scheduler ? 1 : 0);
   }
   NodeId scheduler_node() const { return 0; }
   NodeId source_node(std::uint32_t i) const {
@@ -176,6 +225,12 @@ struct EhjaConfig {
   }
   NodeId pool_node(std::uint32_t i) const {
     return static_cast<NodeId>(1 + data_sources + i);
+  }
+  /// Node hosting the standby scheduler (ft.standby_scheduler only).  On
+  /// the socket runtime the driver overrides this to node 0: the
+  /// coordinator process cannot be killed, so the standby shares it.
+  NodeId standby_node() const {
+    return static_cast<NodeId>(1 + data_sources + join_pool_nodes);
   }
 
   /// Sanity-check the configuration; aborts on nonsense (zero sources,

@@ -29,17 +29,40 @@ const RelationSpec& DataSourceActor::spec_of(RelTag rel) const {
 }
 
 void DataSourceActor::on_message(const Message& msg) {
-  switch (static_cast<Tag>(msg.tag)) {
+  const Tag tag = static_cast<Tag>(msg.tag);
+  // Split-brain guard: scheduler control is only obeyed from the scheduler
+  // this source currently follows.  After a (possibly false-positive)
+  // failover the deposed scheduler may still emit control traffic; dropping
+  // it here keeps exactly one coordinator authoritative.
+  const bool scheduler_control =
+      tag == Tag::kStartBuild || tag == Tag::kStartProbe ||
+      tag == Tag::kMapUpdate || tag == Tag::kReplayRequest || tag == Tag::kPing;
+  // (kInvalidActor marks a harness-injected message; no live actor has it.)
+  if (scheduler_control && msg.from != scheduler_ &&
+      msg.from != kInvalidActor) {
+    EHJA_WARN(name(), "dropping control tag ", msg.tag,
+              " from non-current scheduler ", msg.from);
+    return;
+  }
+  switch (tag) {
     case Tag::kStartBuild: {
       charge(config_->cost.control_handle_sec);
       phase_ = Phase::kBuild;
-      start_relation(config_->build_rel.tag, msg.as<StartBuildPayload>().map);
+      paused_ = false;  // a phase start always outranks a settle pause
+      const auto& start = msg.as<StartBuildPayload>();
+      epoch_ = std::max(epoch_, start.epoch);
+      done_mask_ |= 0x4;  // build stream started
+      start_relation(config_->build_rel.tag, start.map);
       break;
     }
     case Tag::kStartProbe: {
       charge(config_->cost.control_handle_sec);
       phase_ = Phase::kProbe;
-      start_relation(config_->probe_rel.tag, msg.as<StartProbePayload>().map);
+      paused_ = false;  // a phase start always outranks a settle pause
+      const auto& start = msg.as<StartProbePayload>();
+      epoch_ = std::max(epoch_, start.epoch);
+      done_mask_ |= 0x8;  // probe stream started
+      start_relation(config_->probe_rel.tag, start.map);
       break;
     }
     case Tag::kMapUpdate: {
@@ -60,9 +83,46 @@ void DataSourceActor::on_message(const Message& msg) {
       handle_replay(msg.as<ReplayRequestPayload>());
       break;
     }
+    case Tag::kPing: {
+      charge(config_->cost.control_handle_sec);
+      send(scheduler_, make_signal(Tag::kPong));
+      break;
+    }
+    case Tag::kSchedulerHandoff: {
+      charge(config_->cost.control_handle_sec);
+      handle_scheduler_handoff(msg);
+      break;
+    }
     default:
       EHJA_CHECK_MSG(false, "data source received unexpected tag");
   }
+}
+
+void DataSourceActor::handle_scheduler_handoff(const Message& msg) {
+  const auto& handoff = msg.as<SchedulerHandoffPayload>();
+  if (handoff.generation <= scheduler_generation_) {
+    EHJA_WARN(name(), "ignoring stale scheduler handoff gen ",
+              handoff.generation);
+    return;
+  }
+  scheduler_generation_ = handoff.generation;
+  scheduler_ = msg.from;
+  epoch_ = std::max(epoch_, handoff.epoch);
+  EHJA_INFO(name(), "following scheduler ", scheduler_, " (gen ",
+            scheduler_generation_, ")");
+  // Report local truth: the promoted scheduler rebuilds its per-source
+  // bookkeeping from these acks instead of its (possibly stale) snapshot.
+  SchedulerHandoffAckPayload ack;
+  ack.generation = handoff.generation;
+  ack.done_mask = done_mask_;
+  ack.build_tuples = build_tuples_total_;
+  ack.probe_tuples = probe_tuples_total_;
+  ack.build_chunks = build_chunks_;
+  ack.probe_chunks = probe_chunks_;
+  ack.chunks_to = chunks_to_;
+  const std::size_t wire = kControlWireBytes + 24 * ack.chunks_to.size();
+  send(scheduler_,
+       make_message(Tag::kSchedulerHandoffAck, std::move(ack), wire));
 }
 
 void DataSourceActor::start_relation(RelTag /*rel*/, const PartitionMap& map) {
@@ -128,6 +188,7 @@ void DataSourceActor::generate_slice() {
     wire += 24 * done.chunks_to.size();
   }
   send(scheduler_, make_message(Tag::kSourceDone, std::move(done), wire));
+  done_mask_ |= rel == RelTag::kR ? 0x1 : 0x2;
   phase_ = phase_ == Phase::kBuild ? Phase::kIdle : Phase::kDone;
   EHJA_DEBUG(name(), "finished ", rel_name(rel), ": ", tuples_sent_,
              " tuples");
@@ -287,12 +348,30 @@ void DataSourceActor::buffer_row(ActorId to, const TupleBatch& batch,
 void DataSourceActor::flush(ActorId to) {
   auto it = buffers_.find(to);
   if (it == buffers_.end() || it->second.empty()) return;
+  // Chunk-triggered source kill: die as the K-th data chunk is about to go
+  // out.  On the socket runtime kill_node() raises SIGKILL in this very
+  // process; on sim/thread runtimes it marks the node dead, so the send
+  // below (and everything after) is discarded with the machine.
+  if (const KillSpec* kill = config_->kill_for_node(node());
+      kill != nullptr && kill->role == KillRole::kSource &&
+      kill->after_chunks > 0 &&
+      build_chunks_ + probe_chunks_ + 1 == kill->after_chunks) {
+    EHJA_INFO(name(), "injected kill before chunk ", kill->after_chunks);
+    rt().kill_node(node());
+  }
   Chunk& buffer = it->second;
   const std::size_t n = buffer.size();
   charge(static_cast<double>(n) * config_->cost.tuple_pack_sec);
   // Replayed tuples are re-deliveries, not new production: keeping them out
   // of tuples_sent_ preserves the build-side conservation check.
-  if (!replay_.has_value()) tuples_sent_ += n;
+  if (!replay_.has_value()) {
+    tuples_sent_ += n;
+    if (buffer.rel == RelTag::kR) {
+      build_tuples_total_ += n;
+    } else {
+      probe_tuples_total_ += n;
+    }
+  }
   if (buffer.rel == RelTag::kR) {
     ++build_chunks_;
   } else {

@@ -68,6 +68,7 @@ class DataSourceActor final : public Actor {
   };
 
   void start_relation(RelTag rel, const PartitionMap& map);
+  void handle_scheduler_handoff(const Message& msg);
   void generate_slice();
   void handle_replay(const ReplayRequestPayload& req);
   void replay_slice();
@@ -107,6 +108,17 @@ class DataSourceActor final : public Actor {
   std::uint64_t build_chunks_ = 0;
   std::uint64_t probe_chunks_ = 0;
   std::uint64_t tuples_sent_ = 0;
+  /// Retained per-relation normal-stream totals (tuples_sent_ resets per
+  /// relation; a promoted scheduler rebuilds its bookkeeping from these).
+  std::uint64_t build_tuples_total_ = 0;
+  std::uint64_t probe_tuples_total_ = 0;
+  /// Bit 0: relation R stream finished; bit 1: relation S finished;
+  /// bit 2: R stream started; bit 3: S stream started.  The started bits
+  /// let a promoted scheduler spot a replacement whose kStartBuild died
+  /// with the old coordinator (it must be re-started, not asked to replay).
+  std::uint8_t done_mask_ = 0;
+  /// Generation of the scheduler currently obeyed (0 = the original).
+  std::uint64_t scheduler_generation_ = 0;
   /// Build slices since the last kSourceProgress report (kAdaptive only).
   std::uint32_t slices_since_report_ = 0;
 

@@ -57,6 +57,12 @@ class DrainProtocol {
 
   /// Monotonic over the whole run (stale-ack detection across drains).
   std::uint64_t epoch() const { return epoch_; }
+  /// Raise the epoch floor at scheduler failover: the promoted scheduler
+  /// must never issue a round epoch its predecessor already used, or a
+  /// straggler ack could be credited to the wrong round.  Only raises.
+  void restore_epoch(std::uint64_t epoch) {
+    if (epoch > epoch_) epoch_ = epoch;
+  }
   bool in_round() const { return in_round_; }
   /// Received-counter total of the previous round (trace/debugging).
   std::uint64_t prev_received() const {

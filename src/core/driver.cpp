@@ -43,16 +43,45 @@ RunResult run_ehja(const EhjaConfig& config, RuntimeKind kind) {
   Runtime* rt = runtime.get();
 
   // The scheduler instantiates join processes on demand through this hook
-  // ("a join process on node w is instantiated", paper ss4.1.1).
-  auto scheduler_id = std::make_shared<ActorId>(kInvalidActor);
-  auto spawn_join = [rt, cfg, scheduler_id](NodeId node) {
-    return rt->spawn(node,
-                     std::make_unique<JoinProcessActor>(cfg, *scheduler_id));
+  // ("a join process on node w is instantiated", paper ss4.1.1); replacement
+  // data sources come through the sibling hook.  Each scheduler instance
+  // (active and standby) gets closures bound to its own id cell, so a
+  // recruit obeys whichever coordinator spawned it.
+  auto make_spawn_join = [rt, cfg](std::shared_ptr<ActorId> sched) {
+    return [rt, cfg, sched](NodeId node) {
+      return rt->spawn(node, std::make_unique<JoinProcessActor>(cfg, *sched));
+    };
   };
+  auto make_spawn_source = [rt, cfg](std::shared_ptr<ActorId> sched) {
+    return [rt, cfg, sched](NodeId node, std::uint32_t index) {
+      return rt->spawn(node,
+                       std::make_unique<DataSourceActor>(cfg, index, *sched));
+    };
+  };
+  auto scheduler_id = std::make_shared<ActorId>(kInvalidActor);
+  auto spawn_join = make_spawn_join(scheduler_id);
 
-  auto scheduler = std::make_unique<SchedulerActor>(cfg, spawn_join);
+  auto scheduler = std::make_unique<SchedulerActor>(
+      cfg, spawn_join, make_spawn_source(scheduler_id));
   SchedulerActor* scheduler_raw = scheduler.get();
   *scheduler_id = rt->spawn(cfg->scheduler_node(), std::move(scheduler));
+
+  SchedulerActor* standby_raw = nullptr;
+  if (cfg->ft.standby_scheduler) {
+    auto standby_id = std::make_shared<ActorId>(kInvalidActor);
+    auto standby = std::make_unique<SchedulerActor>(
+        cfg, make_spawn_join(standby_id), make_spawn_source(standby_id));
+    standby_raw = standby.get();
+    // Under the socket runtime the coordinator process hosts the driver and
+    // cannot be killed, so the standby shares its node; the simulated and
+    // threaded runtimes give it a cluster node of its own.
+    const NodeId standby_node = kind == RuntimeKind::kSocket
+                                    ? cfg->scheduler_node()
+                                    : cfg->standby_node();
+    *standby_id = rt->spawn(standby_node, std::move(standby));
+    standby_raw->wire_standby(*scheduler_id);
+    scheduler_raw->set_standby(*standby_id);
+  }
 
   std::vector<ActorId> sources;
   sources.reserve(cfg->data_sources);
@@ -80,19 +109,29 @@ RunResult run_ehja(const EhjaConfig& config, RuntimeKind kind) {
                       std::move(pool));
 
   // Install the fault plan's time-triggered kills (progress-triggered ones
-  // fire from inside the victim join process as its K-th chunk arrives).
+  // fire from inside the victim process as its K-th chunk or message
+  // arrives).
   for (const KillSpec& kill : cfg->faults.kills) {
+    EHJA_CHECK_MSG(
+        kind != RuntimeKind::kSocket || kill.role != KillRole::kScheduler,
+        "socket runtime: the coordinator process hosts the driver and "
+        "cannot be killed");
     if (kill.at_time >= 0.0) {
-      rt->schedule_kill(cfg->pool_node(kill.pool_index), kill.at_time);
+      rt->schedule_kill(cfg->kill_node_of(kill), kill.at_time);
     }
   }
 
   rt->run();
 
-  EHJA_CHECK_MSG(scheduler_raw->finished(),
+  // With a standby the run may have been finished by either coordinator.
+  SchedulerActor* finished = scheduler_raw->finished() ? scheduler_raw
+                             : standby_raw != nullptr && standby_raw->finished()
+                                 ? standby_raw
+                                 : nullptr;
+  EHJA_CHECK_MSG(finished != nullptr,
                  "runtime stopped before the join completed");
   RunResult result;
-  result.metrics = std::as_const(*scheduler_raw).metrics();
+  result.metrics = std::as_const(*finished).metrics();
   result.metrics.failures_injected = rt->kills_executed();
   result.runtime = kind;
   return result;

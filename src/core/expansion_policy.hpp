@@ -118,6 +118,16 @@ class ExpansionPolicy {
 
   bool pool_exhausted() const { return pool_exhausted_; }
 
+  /// Unclaimed pool nodes (scheduler-failover snapshot input).
+  const std::vector<NodeId>& free_pool_nodes() const {
+    return pool_.free_nodes();
+  }
+  /// Seed the spilled list at scheduler promotion: the members already
+  /// received kSwitchToSpill from the predecessor, so nothing is re-sent.
+  void adopt_spilled(std::vector<ActorId> spilled) {
+    spilled_ = std::move(spilled);
+  }
+
   // --- recovery hooks -------------------------------------------------
   /// Acquire a pool node, skipping nodes that have since died (a dead pool
   /// node is silently consumed).  Used by the recovery manager to recruit

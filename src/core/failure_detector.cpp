@@ -1,33 +1,113 @@
 #include "core/failure_detector.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/assert.hpp"
 
 namespace ehja {
 
+FailureDetector::FailureDetector(DetectorKind kind, double timeout_sec,
+                                 double phi_threshold)
+    : kind_(kind), timeout_sec_(timeout_sec), phi_threshold_(phi_threshold) {}
+
+void FailureDetector::Track::push_gap(double gap) {
+  if (gaps.size() < kWindow) {
+    gaps.push_back(gap);
+  } else {
+    gaps[next_gap] = gap;
+    next_gap = (next_gap + 1) % kWindow;
+  }
+}
+
 void FailureDetector::track(ActorId actor, SimTime now) {
   EHJA_CHECK(actor != kInvalidActor);
-  last_heard_.emplace(actor, now);
+  Track t;
+  t.last_heard = now;
+  tracked_.emplace(actor, std::move(t));
 }
 
-void FailureDetector::untrack(ActorId actor) { last_heard_.erase(actor); }
+void FailureDetector::untrack(ActorId actor) { tracked_.erase(actor); }
 
 bool FailureDetector::tracking(ActorId actor) const {
-  return last_heard_.count(actor) != 0;
+  return tracked_.count(actor) != 0;
 }
 
-void FailureDetector::heard_from(ActorId actor, SimTime now) {
-  auto it = last_heard_.find(actor);
-  if (it == last_heard_.end()) return;  // late pong from a declared death
-  if (now > it->second) it->second = now;
+void FailureDetector::heard_from(ActorId actor, SimTime now, bool sample) {
+  auto it = tracked_.find(actor);
+  if (it == tracked_.end()) return;  // late pong from a declared death
+  Track& t = it->second;
+  if (now > t.last_heard) t.last_heard = now;
+  if (!sample) return;
+  if (t.sampled_once) {
+    const double gap = now - t.last_sample;
+    if (gap > 0.0) t.push_gap(gap);
+  }
+  t.sampled_once = true;
+  if (now > t.last_sample) t.last_sample = now;
 }
 
-FailureDetector::TickResult FailureDetector::tick(SimTime now) {
+double FailureDetector::phi_of(const Track& t, SimTime now) const {
+  if (t.gaps.size() < kMinSamples) return 0.0;
+  double mean = 0.0;
+  for (double g : t.gaps) mean += g;
+  mean /= static_cast<double>(t.gaps.size());
+  double var = 0.0;
+  for (double g : t.gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(t.gaps.size());
+  // Stddev floor: a perfectly regular arrival history would otherwise make
+  // the estimate infinitely confident and fire on the first jitter.
+  const double sigma = std::max(std::sqrt(var), 0.1 * mean);
+  const double silence = now - t.last_heard;
+  if (silence <= 0.0 || sigma <= 0.0) return 0.0;
+  // P(next arrival later than `silence`) under N(mean, sigma): the normal
+  // tail Q(x) = erfc(x / sqrt(2)) / 2.  phi = -log10 of that.
+  const double x = (silence - mean) / sigma;
+  const double tail = 0.5 * std::erfc(x / std::sqrt(2.0));
+  if (tail <= 0.0) return 1e9;  // erfc underflow: certainty
+  return -std::log10(tail);
+}
+
+double FailureDetector::phi(ActorId actor, SimTime now) const {
+  auto it = tracked_.find(actor);
+  if (it == tracked_.end()) return 0.0;
+  return phi_of(it->second, now);
+}
+
+bool FailureDetector::is_dead(const Track& t, SimTime now, bool recovery_active,
+                              double* phi_out) const {
+  const double silence = now - t.last_heard;
+  *phi_out = 0.0;
+  if (kind_ == DetectorKind::kTimeout) return silence > timeout_sec_;
+  // Phi-accrual: the fixed timeout survives as a hard cap -- no arrival
+  // history justifies waiting longer than that.
+  if (silence > timeout_sec_) {
+    *phi_out = phi_of(t, now);
+    return true;
+  }
+  if (t.gaps.size() < kMinSamples) return false;  // warming up: cap only
+  const double suspicion = phi_of(t, now);
+  // Busy-rebuilder guard: while a recovery pass is rebuilding partitions,
+  // live nodes answer pings late and irregularly; demand much stronger
+  // evidence before folding them into the recovery too (DESIGN.md §7).
+  const double threshold =
+      recovery_active ? 2.0 * phi_threshold_ : phi_threshold_;
+  if (suspicion > threshold) {
+    *phi_out = suspicion;
+    return true;
+  }
+  return false;
+}
+
+FailureDetector::TickResult FailureDetector::tick(SimTime now,
+                                                  bool recovery_active) {
   TickResult result;
-  for (auto it = last_heard_.begin(); it != last_heard_.end();) {
-    const double silence = now - it->second;
-    if (silence > timeout_sec_) {
-      result.dead.push_back(Death{it->first, silence});
-      it = last_heard_.erase(it);
+  for (auto it = tracked_.begin(); it != tracked_.end();) {
+    double suspicion = 0.0;
+    if (is_dead(it->second, now, recovery_active, &suspicion)) {
+      result.dead.push_back(Death{it->first, now - it->second.last_heard,
+                                  suspicion});
+      it = tracked_.erase(it);
     } else {
       result.ping.push_back(it->first);
       ++it;

@@ -1,22 +1,47 @@
 // Heartbeat failure detector.
 //
 // A pure state machine (no actor machinery), driven by the scheduler's
-// timed kHeartbeatTick: track() registers a join process, heard_from()
+// timed kHeartbeatTick: track() registers a watched actor, heard_from()
 // records any sign of life (a kPong, but any message counts), and tick()
-// returns who to ping next and who has been silent past the timeout.  The
-// scheduler owns all messaging; this class only keeps the clock book.
+// returns who to ping next and who should be declared dead.  The scheduler
+// owns all messaging; this class only keeps the clock book.
+//
+// Two detection rules (DetectorKind, core/config.hpp):
+//
+//   kTimeout     dead after a fixed silence threshold.  Simple, but the
+//                threshold must be sized for the *worst* case: a node
+//                rebuilding a collapsed range during recovery is legitimately
+//                silent for a long time, so a tight timeout re-declares the
+//                rebuilder dead and cascades (DESIGN.md §7).
+//
+//   kPhiAccrual  Hayashibara et al.'s accrual detector: per-actor pong
+//                inter-arrival times feed a sliding normal estimate, and
+//                the current silence is scored as
+//                    phi(t) = -log10 P(next pong arrives later than t)
+//                under that estimate.  phi grows continuously with
+//                silence, so the threshold expresses confidence rather
+//                than seconds: detection is fast when the link has been
+//                quiet and regular, and automatically slack when arrivals
+//                have been erratic.  The fixed timeout survives as a hard
+//                cap (an actor silent that long is dead regardless of
+//                history) and as the fallback rule until enough samples
+//                exist.  During an active recovery pass the threshold is
+//                doubled -- the busy-rebuilder guard: rebuilders answer
+//                pings late and irregularly, exactly the pattern a
+//                confident detector would flag.
 //
 // The detector is deliberately *eventually perfect* rather than accurate: a
-// busy-but-live node that misses the timeout is declared dead, and the
+// busy-but-live node that misses the rule is declared dead, and the
 // recovery protocol stays correct anyway (the false-dead node's traffic is
 // fenced by incarnation epochs and its state is rebuilt elsewhere) -- the
 // cost of a false positive is wasted replay, never a wrong join result.
-// Phi-accrual suspicion levels and node rejuvenation are ROADMAP follow-ups.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
+#include "core/config.hpp"
 #include "runtime/message.hpp"
 #include "sim/simulator.hpp"
 
@@ -24,38 +49,75 @@ namespace ehja {
 
 class FailureDetector {
  public:
-  explicit FailureDetector(double timeout_sec) : timeout_sec_(timeout_sec) {}
+  /// Legacy fixed-timeout detector.
+  explicit FailureDetector(double timeout_sec)
+      : FailureDetector(DetectorKind::kTimeout, timeout_sec, 8.0) {}
+
+  FailureDetector(DetectorKind kind, double timeout_sec, double phi_threshold);
 
   /// Start watching `actor`; `now` seeds its last-heard clock.
   void track(ActorId actor, SimTime now);
   /// Stop watching (the actor died or the protocol is winding down).
   void untrack(ActorId actor);
   bool tracking(ActorId actor) const;
-  std::size_t tracked_count() const { return last_heard_.size(); }
+  std::size_t tracked_count() const { return tracked_.size(); }
 
   /// Record a sign of life.  Ignored for untracked actors (a pong from an
-  /// actor already declared dead must not resurrect it).
-  void heard_from(ActorId actor, SimTime now);
+  /// actor already declared dead must not resurrect it).  `sample` marks
+  /// arrivals of the periodic kind (pongs, snapshots): only those feed the
+  /// phi inter-arrival window -- counting every protocol message would
+  /// flood the window with near-zero gaps during a burst and make the
+  /// estimate absurdly confident.
+  void heard_from(ActorId actor, SimTime now, bool sample = false);
 
   struct Death {
     ActorId actor = kInvalidActor;
     double silence_sec = 0.0;  // detection latency: now - last heard
+    double phi = 0.0;          // suspicion at declaration (0 under kTimeout)
   };
   struct TickResult {
     std::vector<ActorId> ping;  // still live: ping them again
-    std::vector<Death> dead;    // silent past the timeout; now untracked
+    std::vector<Death> dead;    // declared dead; now untracked
   };
 
-  /// One detector round at time `now`.  Actors silent for longer than the
-  /// timeout are declared dead (and untracked); everyone else should be
-  /// pinged.  Deterministic: results are in ActorId order.
-  TickResult tick(SimTime now);
+  /// One detector round at time `now`.  Actors whose silence violates the
+  /// active rule are declared dead (and untracked); everyone else should
+  /// be pinged.  `recovery_active` arms the busy-rebuilder guard (phi
+  /// threshold doubled).  Deterministic: results are in ActorId order.
+  TickResult tick(SimTime now, bool recovery_active = false);
+
+  /// Current suspicion level for a tracked actor (kPhiAccrual; 0 while the
+  /// sample window is still warming up).  Exposed for tests and tracing.
+  double phi(ActorId actor, SimTime now) const;
 
   double timeout_sec() const { return timeout_sec_; }
+  DetectorKind kind() const { return kind_; }
+  double phi_threshold() const { return phi_threshold_; }
 
  private:
+  /// Sliding inter-arrival window per tracked actor.
+  struct Track {
+    SimTime last_heard = 0.0;
+    SimTime last_sample = 0.0;
+    bool sampled_once = false;
+    std::vector<double> gaps;   // ring buffer of inter-arrival seconds
+    std::size_t next_gap = 0;   // ring cursor
+    void push_gap(double gap);
+  };
+
+  /// Minimum samples before phi replaces the timeout fallback.
+  static constexpr std::size_t kMinSamples = 8;
+  /// Window size (samples kept per actor).
+  static constexpr std::size_t kWindow = 32;
+
+  bool is_dead(const Track& t, SimTime now, bool recovery_active,
+               double* phi_out) const;
+  double phi_of(const Track& t, SimTime now) const;
+
+  DetectorKind kind_;
   double timeout_sec_;
-  std::map<ActorId, SimTime> last_heard_;
+  double phi_threshold_;
+  std::map<ActorId, Track> tracked_;
 };
 
 }  // namespace ehja

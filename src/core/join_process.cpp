@@ -31,7 +31,21 @@ std::uint64_t JoinProcessActor::build_tuples_held() const {
 }
 
 void JoinProcessActor::on_message(const Message& msg) {
-  switch (static_cast<Tag>(msg.tag)) {
+  const Tag tag = static_cast<Tag>(msg.tag);
+  // Scheduler-control tags are honoured only from the scheduler currently
+  // obeyed.  A falsely-suspected coordinator (standby failover) keeps
+  // running until its own handoff notice arrives; its stale control traffic
+  // must not fork this node's state.  Data tags (kDataChunk, kForwardEnd)
+  // flow between peers and sources and are exempt.
+  // (kInvalidActor marks a harness-injected message; no live actor has it.)
+  if (tag != Tag::kDataChunk && tag != Tag::kForwardEnd &&
+      tag != Tag::kSchedulerHandoff && msg.from != scheduler_ &&
+      msg.from != kInvalidActor) {
+    EHJA_WARN(name(), "dropping control tag ", static_cast<int>(msg.tag),
+              " from non-scheduler actor ", msg.from);
+    return;
+  }
+  switch (tag) {
     case Tag::kJoinInit:
       charge(config_->cost.control_handle_sec);
       handle_init(msg.as<JoinInitPayload>());
@@ -100,6 +114,9 @@ void JoinProcessActor::on_message(const Message& msg) {
     case Tag::kReportRequest:
       handle_report_request();
       break;
+    case Tag::kSchedulerHandoff:
+      handle_scheduler_handoff(msg);
+      break;
     default:
       EHJA_CHECK_MSG(false, "join process received unexpected tag");
   }
@@ -162,7 +179,8 @@ bool JoinProcessActor::fence_drops(std::uint64_t chunk_epoch,
 
 void JoinProcessActor::handle_chunk(ActorId from, const ChunkPayload& payload) {
   if (const KillSpec* kill = config_->kill_for_node(node());
-      kill != nullptr && kill->after_chunks > 0 &&
+      kill != nullptr && kill->role == KillRole::kJoin &&
+      kill->after_chunks > 0 &&
       chunks_received_ + 1 == kill->after_chunks) {
     EHJA_WARN(name(), "fault injection: node ", node(), " dies on chunk ",
               kill->after_chunks);
@@ -443,6 +461,20 @@ void JoinProcessActor::handle_fence(const RecoveryFencePayload& fence) {
 
 void JoinProcessActor::handle_range_reset(const RangeResetPayload& reset) {
   charge(config_->cost.control_handle_sec);
+  if (reset.epoch < epoch_) {
+    // Per-pair FIFO means a same-scheduler reset can never regress; this is
+    // a reset that raced a scheduler failover, superseded by the promoted
+    // coordinator's own wipe.  Ack it (stale acks are ignored upstream) but
+    // do not re-apply the surgery: the discard set belongs to an older
+    // incarnation and would drop tuples the newer replay already delivered.
+    EHJA_WARN(name(), "ignoring stale range reset epoch ", reset.epoch,
+              " (current ", epoch_, ")");
+    RangeResetAckPayload ack;
+    ack.epoch = reset.epoch;
+    send(scheduler_,
+         make_message(Tag::kRangeResetAck, ack, kControlWireBytes));
+    return;
+  }
   epoch_ = std::max(epoch_, reset.epoch);
   std::uint64_t dropped = 0;
   if (reset.zero_probe_results) {
@@ -518,8 +550,31 @@ double JoinProcessActor::rebuild_spiller(const RangeResetPayload& reset,
   return seconds;
 }
 
+void JoinProcessActor::handle_scheduler_handoff(const Message& msg) {
+  charge(config_->cost.control_handle_sec);
+  const auto& handoff = msg.as<SchedulerHandoffPayload>();
+  if (handoff.generation <= scheduler_generation_) {
+    EHJA_WARN(name(), "ignoring stale scheduler handoff generation ",
+              handoff.generation);
+    return;
+  }
+  scheduler_generation_ = handoff.generation;
+  scheduler_ = msg.from;
+  epoch_ = std::max(epoch_, handoff.epoch);
+  EHJA_INFO(name(), "obeying scheduler ", scheduler_, " (generation ",
+            handoff.generation, ")");
+}
+
 void JoinProcessActor::handle_report_request() {
-  EHJA_CHECK(!reported_);
+  if (reported_) {
+    // A promoted scheduler cannot know whether this node's report reached
+    // its predecessor, so kReportRequest is re-sent; answer from the stored
+    // copy -- the spiller's finish pass already ran and must not run twice.
+    EHJA_INFO(name(), "re-sending node report");
+    send(scheduler_, make_message(Tag::kNodeReport, last_report_,
+                                  kControlWireBytes));
+    return;
+  }
   reported_ = true;
   if (spiller_) {
     // Phase 3 of the out-of-core path: join the spilled partition pairs.
@@ -541,6 +596,7 @@ void JoinProcessActor::handle_report_request() {
     report.metrics.spilled_partitions = spiller_->spilled_partitions();
   }
   report.checksum = result_.checksum;
+  last_report_ = report;
   send(scheduler_,
        make_message(Tag::kNodeReport, std::move(report), kControlWireBytes));
 }

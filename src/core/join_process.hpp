@@ -75,6 +75,7 @@ class JoinProcessActor final : public Actor {
   void handle_histogram_request(const HistogramRequestPayload& req);
   void handle_reshuffle(const ReshuffleMovePayload& move);
   void handle_report_request();
+  void handle_scheduler_handoff(const Message& msg);
   void handle_fence(const RecoveryFencePayload& fence);
   void handle_range_reset(const RangeResetPayload& reset);
   /// Discard `reset.discard` from the spiller (and regrow its range) by
@@ -120,6 +121,12 @@ class JoinProcessActor final : public Actor {
   std::vector<std::pair<PosRange, ActorId>> forward_table_;
   bool memory_request_pending_ = false;
   bool reported_ = false;
+  /// The report as first computed; a promoted scheduler's duplicate
+  /// kReportRequest gets this verbatim (the spiller finish pass is not
+  /// idempotent, so it must run exactly once).
+  NodeReportPayload last_report_;
+  /// Generation of the scheduler currently obeyed (0 = the original).
+  std::uint64_t scheduler_generation_ = 0;
 
   // --- recovery state (stays zero/empty in fault-free runs) ---
   /// Incarnation epoch: the highest epoch seen in a fence or reset.  Stamped

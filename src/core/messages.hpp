@@ -12,6 +12,7 @@
 
 #include "core/metrics.hpp"
 #include "hash/partition_map.hpp"
+#include "net/network.hpp"
 #include "relation/chunk.hpp"
 #include "runtime/message.hpp"
 #include "util/histogram.hpp"
@@ -64,6 +65,11 @@ enum class Tag : int {
   kRangeResetAck = 65,  // join -> scheduler: reset applied
   kReplayRequest = 66,  // scheduler -> source: regenerate lost ranges
   kReplayDone = 67,     // source -> scheduler: replay stream complete
+
+  // --- scheduler failover (ft.standby_scheduler runs only) ---
+  kSchedulerSnapshot = 70,    // active -> standby: state checkpoint
+  kSchedulerHandoff = 71,     // promoted standby -> join/source/old active
+  kSchedulerHandoffAck = 72,  // source -> promoted standby: local truth
 };
 
 /// Modes a join process can be initialized into.
@@ -82,6 +88,10 @@ struct JoinInitPayload {
 
 struct StartBuildPayload {
   PartitionMap map;
+  /// Incarnation epoch the source must stamp outgoing chunks with from the
+  /// start.  Nonzero only for a replacement source started mid-recovery:
+  /// its tuples must pass the fences already installed at the joins.
+  std::uint64_t epoch = 0;
 };
 
 struct ChunkPayload {
@@ -156,6 +166,8 @@ struct DrainAckPayload {
 
 struct StartProbePayload {
   PartitionMap map;
+  /// See StartBuildPayload::epoch.
+  std::uint64_t epoch = 0;
 };
 
 struct HistogramRequestPayload {
@@ -245,6 +257,66 @@ struct ReplayDonePayload {
   /// Cumulative per-destination data-chunk counts (normal + replay).
   std::map<ActorId, std::uint64_t> chunks_to;
   std::uint64_t chunks_sent_total = 0;
+};
+
+// --- scheduler failover payloads ---
+
+/// Checkpoint of the active scheduler's authoritative state, streamed to
+/// the standby after every state transition (phase change, map broadcast,
+/// join spawn, epoch bump, source completion).  Deliberately small: node
+/// reports, drain rounds and the join result are *not* carried -- the
+/// promoted scheduler re-collects them from the workers, which stayed
+/// alive and hold the authoritative copies.
+struct SchedulerSnapshotPayload {
+  std::uint64_t generation = 0;  // checkpoint sequence number
+  std::uint8_t phase = 0;        // SchedulerActor phase at checkpoint time
+  bool probe_recovery = false;   // phase == recovery: which flavour
+  std::uint64_t epoch = 0;       // recovery incarnation epoch
+  std::uint64_t map_version = 0;
+  PartitionMap map;
+  std::vector<ActorId> joins;    // live join actors, spawn order
+  std::vector<ActorId> sources;  // source actors, source-index order
+  std::vector<ActorId> dead;     // all-time dead actors (straggler fencing)
+  std::vector<ActorId> spilled;  // joins degraded to local spilling
+  std::vector<NodeId> pool_free; // unclaimed pool nodes
+  std::uint32_t reshuffle_round = 0;
+  std::uint64_t drain_epoch = 0; // drain-probe epoch floor (monotonicity)
+  /// Per-source per-destination cumulative data-chunk accounting (the
+  /// drain-balance input; superseded by handoff acks where sources are
+  /// still alive to send them).
+  std::map<ActorId, std::map<ActorId, std::uint64_t>> source_chunks_to;
+  /// Scalar metrics accrued so far (phase timestamps, expansion and
+  /// failure counters).  The codec carries only scheduler-accrued scalars;
+  /// per-node vectors and the join result re-arrive with the reports.
+  RunMetrics metrics;
+};
+
+/// Promoted standby -> every join, every source, and the (possibly falsely
+/// declared dead) old active: `msg.from` is the scheduler now.  Guarded by
+/// `generation` so a stale or re-delivered handoff never demotes a newer
+/// scheduler; an old active that sees a generation above its own abdicates
+/// instead of fighting (split-brain safety on a false positive).
+struct SchedulerHandoffPayload {
+  std::uint64_t generation = 0;
+  std::uint64_t epoch = 0;  // promoted scheduler's pre-wipe epoch
+};
+
+/// Source -> promoted scheduler: the source's authoritative local truth.
+/// The promoted scheduler rebuilds its per-source bookkeeping from these
+/// acks rather than trusting the snapshot, which may trail the active's
+/// death by a few transitions (completions lost with it in flight).
+struct SchedulerHandoffAckPayload {
+  std::uint64_t generation = 0;
+  /// Bit 0: R finished; bit 1: S finished; bit 2: R stream started;
+  /// bit 3: S stream started.  A clear started bit flags a replacement
+  /// whose stream start was lost with the dead coordinator.
+  std::uint8_t done_mask = 0;
+  std::uint64_t build_tuples = 0;  // normal-stream tuples sent, relation R
+  std::uint64_t probe_tuples = 0;
+  std::uint64_t build_chunks = 0;
+  std::uint64_t probe_chunks = 0;
+  /// Cumulative per-destination data-chunk counts (normal + replay).
+  std::map<ActorId, std::uint64_t> chunks_to;
 };
 
 /// Wire size of a data chunk under `schema`.

@@ -21,10 +21,15 @@ std::string RunMetrics::summary() const {
      << "s finish=" << finish_time() << "s split_time=" << split_time
      << "s nodes=" << initial_join_nodes << "->" << final_join_nodes
      << " extra_chunks=" << extra_build_chunks << " matches=" << join.matches;
-  if (failures_injected > 0 || failures_detected > 0) {
+  if (failures_injected > 0 || failures_detected > 0 ||
+      scheduler_failovers > 0) {
     os << " failures=" << failures_injected << "/" << failures_detected
+       << " (join=" << join_failures << " source=" << source_failures
+       << " sched=" << scheduler_failovers << ")"
        << " detect_lat=" << detection_latency_total
-       << "s recoveries=" << recoveries
+       << "s detect_max=" << detection_latency_max
+       << "s false_pos=" << false_positive_deaths
+       << " recoveries=" << recoveries
        << " recovery_time=" << recovery_time_total
        << "s replayed=" << replayed_build_tuples << "+"
        << replayed_probe_tuples;

@@ -77,6 +77,19 @@ struct RunMetrics {
   /// Sum over detected failures of (declaration time - last heartbeat),
   /// virtual seconds; divide by failures_detected for the mean latency.
   double detection_latency_total = 0.0;
+  /// Worst single detection latency (the phi detector's selling point).
+  double detection_latency_max = 0.0;
+  /// Deaths declared while the node was in fact still alive.  The join is
+  /// still correct (stale traffic is fenced, state rebuilt elsewhere), but
+  /// every false positive is a wasted replay -- the busy-rebuilder cascade
+  /// of DESIGN.md §7 shows up here.
+  std::uint32_t false_positive_deaths = 0;
+  /// Detected deaths by role (join_failures + source_failures ==
+  /// failures_detected at the scheduler; scheduler deaths are counted by
+  /// the standby as promotions).
+  std::uint32_t join_failures = 0;
+  std::uint32_t source_failures = 0;
+  std::uint32_t scheduler_failovers = 0;  // standby promotions
   std::uint32_t recoveries = 0;          // recovery passes completed
   /// Wall (virtual) time from first death of a pass to protocol resumption.
   double recovery_time_total = 0.0;

@@ -63,6 +63,45 @@ void RecoveryManager::on_death(ActorId dead, bool probe_phase) {
   run_surgery();
 }
 
+void RecoveryManager::on_wipe(bool probe_phase) {
+  hulls_.push_back(PosRange{0, env_.map().positions()});
+  probe_ = probe_ || probe_phase;
+  if (stage_ == Stage::kIdle) {
+    started_ = env_.now();
+    wave_deaths_ = 0;
+  }
+  ++wave_deaths_;
+  ++epoch_;
+  env_.trace(TraceKind::kRecoveryStart, static_cast<std::int64_t>(epoch_),
+             static_cast<std::int64_t>(wave_deaths_));
+  EHJA_WARN("recovery", "full-coverage wipe; epoch ", epoch_, " (",
+            probe_ ? "probe" : "build", "-phase recovery, wave of ",
+            wave_deaths_, ")");
+  run_surgery();
+}
+
+void RecoveryManager::on_source_death(ActorId dead, bool probe_phase) {
+  EHJA_CHECK_MSG(dead_.insert(dead).second,
+                 "data source declared dead twice");
+  on_wipe(probe_phase);
+}
+
+void RecoveryManager::add_fresh_source(ActorId source, bool probe_phase) {
+  fresh_build_.insert(source);
+  if (probe_phase) fresh_probe_.insert(source);
+}
+
+void RecoveryManager::add_fresh_probe_source(ActorId source) {
+  fresh_probe_.insert(source);
+}
+
+void RecoveryManager::restore(std::uint64_t epoch, std::set<ActorId> dead) {
+  EHJA_CHECK_MSG(stage_ == Stage::kIdle,
+                 "restore into an active recovery");
+  epoch_ = epoch;
+  dead_ = std::move(dead);
+}
+
 void RecoveryManager::run_surgery() {
   stage_ = Stage::kResetting;
   pending_resets_.clear();
@@ -202,9 +241,17 @@ void RecoveryManager::run_surgery() {
 
 void RecoveryManager::start_build_replay() {
   stage_ = Stage::kBuildReplay;
+  // Reset barrier passed: every join has discarded the ranges a fresh
+  // replacement source will (re-)deliver, so its normal build stream can
+  // start.  It streams its full slice as an ordinary counted stream -- no
+  // replay job, because it has produced nothing to replay.
+  for (ActorId source : fresh_build_) {
+    host_.start_replacement_source(source, config_->build_rel.tag, epoch_);
+  }
   if (replay_.empty()) {
     // The dead actor never owned a range (e.g. a recruit lost before its
     // first map broadcast): nothing to rebuild.
+    fresh_build_.clear();
     if (probe_) {
       stage_ = Stage::kSettleDrain;
       host_.start_settle_drain();
@@ -213,7 +260,21 @@ void RecoveryManager::start_build_replay() {
     }
     return;
   }
+  // The fresh set must stay populated through the send: a just-started
+  // replacement must NOT also receive a replay request, or it would re-send
+  // whatever prefix its brand-new stream produced before the request landed.
   send_replay_requests(config_->build_rel.tag, /*pause_after=*/probe_);
+  fresh_build_.clear();
+  if (pending_replays_.empty()) {
+    // Every source is a fresh replacement: the new streams re-deliver
+    // everything; the phase drain (or settle drain) waits for them.
+    if (probe_) {
+      stage_ = Stage::kSettleDrain;
+      host_.start_settle_drain();
+    } else {
+      finish();
+    }
+  }
 }
 
 void RecoveryManager::send_replay_requests(RelTag rel, bool pause_after) {
@@ -221,14 +282,22 @@ void RecoveryManager::send_replay_requests(RelTag rel, bool pause_after) {
   req.epoch = epoch_;
   req.rel = rel;
   req.ranges = replay_;
-  req.pause_after = pause_after;
   const std::size_t wire = kControlWireBytes + 16 * replay_.size();
+  const bool probe_rel = rel == config_->probe_rel.tag;
   pending_replays_.clear();
   for (ActorId source : env_.source_actors()) {
+    // A replacement whose build stream never started has nothing to replay
+    // (its kStartBuild goes out at the barrier); one awaiting its probe
+    // stream has produced no relation-S tuples either.
+    if (fresh_build_.count(source) != 0) continue;
+    if (probe_rel && fresh_probe_.count(source) != 0) continue;
+    // The settle drain pauses sources that finished the build and are
+    // streaming probes; a replacement still mid-build-stream must keep
+    // flowing or the settle drain would never balance.
+    req.pause_after = pause_after && fresh_probe_.count(source) == 0;
     pending_replays_.insert(source);
     env_.send_to(source, make_message(Tag::kReplayRequest, req, wire));
   }
-  EHJA_CHECK(!pending_replays_.empty());
 }
 
 void RecoveryManager::on_reset_ack(ActorId from,
@@ -268,7 +337,17 @@ void RecoveryManager::on_replay_done(ActorId from,
 void RecoveryManager::on_settle_drained() {
   if (stage_ != Stage::kSettleDrain) return;  // aborted by a fold
   stage_ = Stage::kProbeReplay;
+  // The replayed build chunks have landed; a replacement source that never
+  // produced relation S starts its normal probe stream now (the run's
+  // kStartProbe broadcast predates its spawn, so it never saw one).
+  for (ActorId source : fresh_probe_) {
+    host_.start_replacement_source(source, config_->probe_rel.tag, epoch_);
+  }
+  // As in start_build_replay: clear only after the send, so the skip check
+  // keeps replay requests away from streams that just started fresh.
   send_replay_requests(config_->probe_rel.tag, /*pause_after=*/false);
+  fresh_probe_.clear();
+  if (pending_replays_.empty()) finish();
 }
 
 void RecoveryManager::finish() {
@@ -285,6 +364,8 @@ void RecoveryManager::finish() {
   replay_.clear();
   pending_resets_.clear();
   pending_replays_.clear();
+  fresh_build_.clear();
+  fresh_probe_.clear();
   const bool probe = probe_;
   probe_ = false;
   host_.recovery_complete(probe);

@@ -80,6 +80,11 @@ class RecoveryHost {
   /// it appeared in); empty range if never an owner.  An over-approximation
   /// is safe: extra discard is repaired by the matching extra replay.
   virtual PosRange coverage_of(ActorId actor) const = 0;
+  /// Start a replacement data source's normal stream: kStartBuild (rel ==
+  /// build) or kStartProbe (rel == probe) carrying the current map and
+  /// `epoch`, so its chunks pass the fences already installed at the joins.
+  virtual void start_replacement_source(ActorId source, RelTag rel,
+                                        std::uint64_t epoch) = 0;
 };
 
 class RecoveryManager {
@@ -92,13 +97,47 @@ class RecoveryManager {
   std::uint64_t epoch() const { return epoch_; }
   /// Whether the active recovery interrupted the probe phase.
   bool probe_recovery() const { return probe_; }
-  /// Every join actor ever declared dead.
+  /// Every actor (join or data source) ever declared dead.  The scheduler
+  /// uses it to drop stragglers and to filter drain-ack bookkeeping.
   const std::set<ActorId>& dead_actors() const { return dead_; }
 
   /// `dead` was declared failed while the run was in a probe-side phase
   /// (`probe_phase`).  Starts a recovery, or folds into the active one.
   /// The scheduler has already pruned the actor from its live lists.
   void on_death(ActorId dead, bool probe_phase);
+
+  /// Full-coverage wipe: discard and replay every position range.  Used
+  /// when the lost state cannot be localized to a join node's hull -- a
+  /// data-source death (the dead stream's tuples are interleaved across
+  /// every range) or a scheduler failover (the promoted coordinator cannot
+  /// know which deliveries its predecessor saw).  Starts a recovery, or
+  /// folds into the active one, exactly like on_death.
+  void on_wipe(bool probe_phase);
+
+  /// Data source `dead` was declared failed: record it in the all-time dead
+  /// set (its in-flight chunks and stale acks must be fenced like a join's)
+  /// and run a full-coverage wipe -- the dead stream's tuples are
+  /// interleaved across every position range, so no smaller hull is sound.
+  void on_source_death(ActorId dead, bool probe_phase);
+
+  /// Register `source` as a fresh replacement whose streams have not
+  /// started.  It is excluded from replay waves (it has produced nothing to
+  /// replay); instead its build stream starts as a *normal counted stream*
+  /// at the reset barrier, and -- for probe-phase recoveries, where the
+  /// scheduler's kStartProbe broadcast predates the spawn -- its probe
+  /// stream starts at settle-drain completion, both through
+  /// RecoveryHost::start_replacement_source.
+  void add_fresh_source(ActorId source, bool probe_phase);
+
+  /// A source whose build stream ran (or finished) but whose kStartProbe
+  /// was lost with a dead coordinator: start only its probe stream fresh
+  /// at settle-drain completion.
+  void add_fresh_probe_source(ActorId source);
+
+  /// Seed a promoted scheduler from its predecessor's snapshot: adopt the
+  /// incarnation epoch and the all-time dead set (straggler fencing).
+  /// Valid only while idle, before the promotion wipe.
+  void restore(std::uint64_t epoch, std::set<ActorId> dead);
 
   void on_reset_ack(ActorId from, const RangeResetAckPayload& ack);
   void on_replay_done(ActorId from, const ReplayDonePayload& done);
@@ -136,6 +175,12 @@ class RecoveryManager {
   std::vector<PosRange> replay_;      // normalized ranges being replayed
   std::set<ActorId> pending_resets_;
   std::set<ActorId> pending_replays_;
+  /// Replacement sources whose build stream has not started yet (excluded
+  /// from every replay wave until kStartBuild goes out at the barrier).
+  std::set<ActorId> fresh_build_;
+  /// Replacement sources awaiting their probe stream (probe recoveries
+  /// only; excluded from relation-S replay waves until settle completion).
+  std::set<ActorId> fresh_probe_;
 };
 
 }  // namespace ehja

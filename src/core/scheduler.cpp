@@ -9,11 +9,15 @@
 
 namespace ehja {
 
-SchedulerActor::SchedulerActor(std::shared_ptr<const EhjaConfig> config,
-                               std::function<ActorId(NodeId)> spawn_join)
+SchedulerActor::SchedulerActor(
+    std::shared_ptr<const EhjaConfig> config,
+    std::function<ActorId(NodeId)> spawn_join,
+    std::function<ActorId(NodeId, std::uint32_t)> spawn_source)
     : config_(std::move(config)),
       spawn_join_(std::move(spawn_join)),
-      detector_(config_->ft.heartbeat_timeout_sec) {}
+      spawn_source_(std::move(spawn_source)),
+      detector_(config_->ft.detector, config_->ft.heartbeat_timeout_sec,
+                config_->ft.phi_threshold) {}
 
 void SchedulerActor::wire(std::vector<ActorId> sources,
                           std::vector<ActorId> initial_joins,
@@ -26,9 +30,29 @@ void SchedulerActor::wire(std::vector<ActorId> sources,
       static_cast<RecoveryHost&>(*this));
   EHJA_CHECK(sources_.size() == config_->data_sources);
   EHJA_CHECK(joins_.size() == config_->initial_join_nodes);
+  for (std::uint32_t j = 0; j < joins_.size(); ++j) {
+    node_of_[joins_[j]] = config_->pool_node(j);
+  }
+  for (std::uint32_t i = 0; i < sources_.size(); ++i) {
+    node_of_[sources_[i]] = config_->source_node(i);
+  }
+}
+
+void SchedulerActor::wire_standby(ActorId active) {
+  mode_ = Mode::kStandby;
+  active_ = active;
 }
 
 void SchedulerActor::on_start() {
+  if (mode_ == Mode::kStandby) {
+    // A standby holds no run state; it only watches the active coordinator
+    // (whose pings and snapshots feed the detector) and keeps the latest
+    // checkpoint ready for promotion.
+    detector_.track(active_, Actor::now());
+    defer_after(make_signal(Tag::kHeartbeatTick),
+                config_->ft.heartbeat_interval_sec);
+    return;
+  }
   EHJA_CHECK_MSG(policy_ != nullptr, "scheduler not wired before run");
   metrics_.t_start = Actor::now();
   trace_event(TraceKind::kPhase, 0, 0, "build");
@@ -53,6 +77,7 @@ void SchedulerActor::on_start() {
   absorb_coverage();
   if (config_->recovery_enabled()) {
     for (ActorId join : joins_) detector_.track(join, Actor::now());
+    for (ActorId source : sources_) detector_.track(source, Actor::now());
     defer_after(make_signal(Tag::kHeartbeatTick),
                 config_->ft.heartbeat_interval_sec);
   }
@@ -73,16 +98,57 @@ void SchedulerActor::on_start() {
     send(source, make_message(Tag::kStartBuild, std::move(start), wire));
   }
   EHJA_INFO(name(), "start: ", config_->to_string());
+  checkpoint();
 }
 
 void SchedulerActor::on_message(const Message& msg) {
+  ++messages_processed_;
+  if (const KillSpec* kill = config_->kill_for_node(node());
+      kill != nullptr && kill->role == KillRole::kScheduler &&
+      kill->after_chunks > 0 && messages_processed_ == kill->after_chunks) {
+    EHJA_WARN(name(), "fault injection: coordinator dies after message ",
+              kill->after_chunks);
+    rt().kill_node(node());
+    return;
+  }
   charge(config_->cost.control_handle_sec);
+  if (mode_ == Mode::kDeposed) {
+    return;  // superseded by a promoted standby: stay silent forever
+  }
+  if (mode_ == Mode::kStandby) {
+    on_standby_message(msg);
+    return;
+  }
+  const Tag tag = static_cast<Tag>(msg.tag);
+  if (tag == Tag::kSchedulerHandoff) {
+    handle_handoff_at_active(msg);
+    return;
+  }
+  if (tag == Tag::kSchedulerHandoffAck) {
+    handle_handoff_ack(msg.from, msg.as<SchedulerHandoffAckPayload>());
+    return;
+  }
+  if (tag == Tag::kSchedulerSnapshot || tag == Tag::kPing) {
+    // Checkpoint or liveness ping from the predecessor coordinator: after a
+    // (possibly false-positive) promotion the old active keeps sending until
+    // our handoff deposes it.  Its view is stale by construction -- drop.
+    EHJA_WARN(name(), "dropping stale coordinator tag ", msg.tag, " from ",
+              msg.from);
+    return;
+  }
+  if (promotion_pending_ && tag != Tag::kHeartbeatTick && tag != Tag::kPong) {
+    // Until every source acked the handoff, the ack-rebuilt bookkeeping is
+    // not in place; replaying the stash afterwards keeps FIFO order.
+    promotion_stash_.push_back(msg);
+    return;
+  }
   if (config_->recovery_enabled()) {
     if (recovery_->dead_actors().count(msg.from) != 0) {
       return;  // straggler from a declared death: drop wholesale
     }
-    detector_.heard_from(msg.from, Actor::now());
-    switch (static_cast<Tag>(msg.tag)) {
+    detector_.heard_from(msg.from, Actor::now(),
+                         /*sample=*/tag == Tag::kPong);
+    switch (tag) {
       case Tag::kPong:
         return;  // heard_from above is the whole point
       case Tag::kHeartbeatTick:
@@ -166,6 +232,7 @@ void SchedulerActor::handle_op_complete(const OpCompletePayload& done) {
 ActorId SchedulerActor::spawn_join(NodeId node) {
   const ActorId fresh = spawn_join_(node);
   joins_.push_back(fresh);
+  node_of_[fresh] = node;
   if (config_->recovery_enabled()) detector_.track(fresh, Actor::now());
   return fresh;
 }
@@ -200,6 +267,7 @@ void SchedulerActor::broadcast_map() {
   for (ActorId source : sources_) {
     send(source, make_message(Tag::kMapUpdate, update, wire));
   }
+  checkpoint();
 }
 
 // ------------------------------------- failure detection and recovery
@@ -222,15 +290,28 @@ PosRange SchedulerActor::coverage_of(ActorId actor) const {
 }
 
 void SchedulerActor::handle_heartbeat_tick() {
-  if (phase_ == Phase::kReporting || phase_ == Phase::kDone) {
-    return;  // disarm: every join must answer the report request anyway
+  if (phase_ == Phase::kDone) return;
+  if (phase_ == Phase::kReporting) {
+    // Disarm join/source detection: every join must answer the report
+    // request anyway.  Keep the standby fed, or it would falsely promote.
+    if (standby_ != kInvalidActor) {
+      send(standby_, make_signal(Tag::kPing));
+      defer_after(make_signal(Tag::kHeartbeatTick),
+                  config_->ft.heartbeat_interval_sec);
+    }
+    return;
   }
-  const FailureDetector::TickResult result = detector_.tick(Actor::now());
+  const FailureDetector::TickResult result =
+      detector_.tick(Actor::now(), /*recovery_active=*/
+                     phase_ == Phase::kRecovery);
   for (const FailureDetector::Death& death : result.dead) {
     declare_dead(death.actor, death.silence_sec);
   }
   for (ActorId target : result.ping) {
     send(target, make_signal(Tag::kPing));
+  }
+  if (standby_ != kInvalidActor) {
+    send(standby_, make_signal(Tag::kPing));
   }
   defer_after(make_signal(Tag::kHeartbeatTick),
               config_->ft.heartbeat_interval_sec);
@@ -241,12 +322,21 @@ void SchedulerActor::declare_dead(ActorId dead, double silence_sec) {
   detector_.untrack(dead);
   ++metrics_.failures_detected;
   metrics_.detection_latency_total += silence_sec;
+  metrics_.detection_latency_max =
+      std::max(metrics_.detection_latency_max, silence_sec);
+  if (const auto it = node_of_.find(dead);
+      it != node_of_.end() && rt().node_alive(it->second)) {
+    // The host node is still up: the detector was wrong, not the process.
+    // Recovery proceeds anyway (the false-dead actor's traffic is fenced),
+    // but the mistake is counted.
+    ++metrics_.false_positive_deaths;
+  }
   trace_event(TraceKind::kFailureDetected, dead,
               static_cast<std::int64_t>(silence_sec * 1e6));
-  EHJA_WARN(name(), "join actor ", dead, " silent for ", silence_sec,
-            "s: declared dead");
-  joins_.erase(std::remove(joins_.begin(), joins_.end(), dead), joins_.end());
-  policy_->on_actor_dead(dead);
+  const bool is_source =
+      std::find(sources_.begin(), sources_.end(), dead) != sources_.end();
+  EHJA_WARN(name(), is_source ? "source" : "join", " actor ", dead,
+            " silent for ", silence_sec, "s: declared dead");
   // Whether the run was on the probe side decides the recovery flavour
   // (and must be pinned before the phase flips to kRecovery).
   const bool probe_side =
@@ -260,8 +350,60 @@ void SchedulerActor::declare_dead(ActorId dead, double silence_sec) {
     reshuffle_pending_done_ = 0;
     ++reshuffle_round_;  // stragglers of the aborted attempt become stale
   }
-  phase_ = Phase::kRecovery;
-  recovery_->on_death(dead, probe_side);
+  if (is_source) {
+    ++metrics_.source_failures;
+    const ActorId fresh = replace_source(dead);
+    phase_ = Phase::kRecovery;
+    recovery_->add_fresh_source(fresh, probe_side);
+    recovery_->on_source_death(dead, probe_side);
+  } else {
+    ++metrics_.join_failures;
+    joins_.erase(std::remove(joins_.begin(), joins_.end(), dead),
+                 joins_.end());
+    policy_->on_actor_dead(dead);
+    phase_ = Phase::kRecovery;
+    recovery_->on_death(dead, probe_side);
+  }
+  checkpoint();
+}
+
+ActorId SchedulerActor::replace_source(ActorId dead) {
+  EHJA_CHECK_MSG(spawn_source_ != nullptr,
+                 "data source died but no spawn_source callback is wired");
+  const auto it = std::find(sources_.begin(), sources_.end(), dead);
+  EHJA_CHECK(it != sources_.end());
+  const auto index =
+      static_cast<std::uint32_t>(std::distance(sources_.begin(), it));
+  // Un-count everything the dead stream contributed: the replacement
+  // re-emits the identical slice (TupleStream is deterministic in the
+  // source index) and re-reports its own completions.
+  const SourceRecord rec = source_records_[dead];
+  if (rec.done_build) {
+    --sources_done_build_;
+    source_chunks_build_ -= rec.build_chunks;
+    source_tuples_build_ -= rec.build_tuples;
+  }
+  if (rec.done_probe) {
+    --sources_done_probe_;
+    source_chunks_probe_ -= rec.probe_chunks;
+    source_tuples_probe_ -= rec.probe_tuples;
+  }
+  source_records_.erase(dead);
+  source_progress_.erase(dead);
+  source_chunks_to_.erase(dead);
+  // Prefer a free pool node; with the pool exhausted (every node joined the
+  // join), co-locate the replacement with the scheduler -- a source is pure
+  // CPU + network, and survivability must not depend on pool slack.
+  const std::optional<NodeId> pool_node = policy_->acquire_node();
+  const NodeId host = pool_node.has_value() ? *pool_node : node();
+  const ActorId fresh = spawn_source_(host, index);
+  EHJA_WARN(name(), "source ", dead, " (index ", index,
+            ") reassigned to fresh actor ", fresh, " on node ", host,
+            pool_node.has_value() ? "" : " (pool exhausted: co-located)");
+  sources_[index] = fresh;
+  node_of_[fresh] = host;
+  detector_.track(fresh, Actor::now());
+  return fresh;
 }
 
 void SchedulerActor::handle_replay_done(ActorId from,
@@ -291,6 +433,7 @@ void SchedulerActor::recovery_complete(bool probe_recovery) {
     policy_->kick();  // restart expansions queued during the recovery
     maybe_start_build_drain();
   }
+  checkpoint();
 }
 
 std::uint64_t SchedulerActor::expected_live_chunks() const {
@@ -303,21 +446,317 @@ std::uint64_t SchedulerActor::expected_live_chunks() const {
   return expected;
 }
 
+// ------------------------------------------------- scheduler failover
+
+void SchedulerActor::checkpoint() {
+  if (standby_ == kInvalidActor || mode_ != Mode::kActive) return;
+  SchedulerSnapshotPayload snap;
+  snap.generation = ++snapshot_generation_;
+  snap.phase = static_cast<std::uint8_t>(phase_);
+  snap.probe_recovery = recovery_ != nullptr && recovery_->probe_recovery();
+  snap.epoch = recovery_ != nullptr ? recovery_->epoch() : 0;
+  snap.map_version = map_version_;
+  snap.map = map_;
+  snap.joins = joins_;
+  snap.sources = sources_;
+  if (recovery_ != nullptr) {
+    snap.dead.assign(recovery_->dead_actors().begin(),
+                     recovery_->dead_actors().end());
+  }
+  snap.spilled = policy_->spilled();
+  snap.pool_free = policy_->free_pool_nodes();
+  snap.reshuffle_round = reshuffle_round_;
+  snap.drain_epoch = drain_.epoch();
+  snap.source_chunks_to = source_chunks_to_;
+  snap.metrics = metrics_;
+  std::size_t wire = map_.wire_bytes() + 128 +
+                     8 * (snap.joins.size() + snap.sources.size() +
+                          snap.dead.size() + snap.spilled.size() +
+                          snap.pool_free.size());
+  for (const auto& [source, dests] : snap.source_chunks_to) {
+    wire += 16 + 24 * dests.size();
+  }
+  send(standby_, make_message(Tag::kSchedulerSnapshot, std::move(snap), wire));
+}
+
+void SchedulerActor::on_standby_message(const Message& msg) {
+  switch (static_cast<Tag>(msg.tag)) {
+    case Tag::kSchedulerSnapshot: {
+      detector_.heard_from(msg.from, Actor::now(), /*sample=*/true);
+      const auto& snap = msg.as<SchedulerSnapshotPayload>();
+      if (!snapshot_.has_value() || snap.generation > snapshot_->generation) {
+        snapshot_ = snap;
+      }
+      break;
+    }
+    case Tag::kPing:
+      detector_.heard_from(msg.from, Actor::now(), /*sample=*/true);
+      break;
+    case Tag::kHeartbeatTick: {
+      const FailureDetector::TickResult result = detector_.tick(Actor::now());
+      for (const FailureDetector::Death& death : result.dead) {
+        if (death.actor != active_) continue;
+        EHJA_WARN(name(), "active coordinator ", active_, " silent for ",
+                  death.silence_sec, "s (phi ", death.phi, "): promoting");
+        promote(death.silence_sec);
+        return;  // promote() re-arms its own tick
+      }
+      defer_after(make_signal(Tag::kHeartbeatTick),
+                  config_->ft.heartbeat_interval_sec);
+      break;
+    }
+    default:
+      // Stray worker traffic addressed here by mistake; a standby holds no
+      // protocol state to apply it to.
+      EHJA_WARN(name(), "standby ignoring tag ", msg.tag, " from ", msg.from);
+      break;
+  }
+}
+
+void SchedulerActor::promote(double silence_sec) {
+  EHJA_CHECK_MSG(snapshot_.has_value(),
+                 "standby promoted before any checkpoint arrived");
+  const SchedulerSnapshotPayload snap = std::move(*snapshot_);
+  snapshot_.reset();
+  detector_.untrack(active_);
+  mode_ = Mode::kActive;
+  handoff_generation_ = 1;  // a single standby promotes at most once
+
+  // Adopt the checkpointed coordination state.
+  phase_ = static_cast<Phase>(snap.phase);
+  promoted_probe_recovery_ = snap.probe_recovery;
+  map_ = snap.map;
+  map_version_ = snap.map_version;
+  joins_ = snap.joins;
+  sources_ = snap.sources;
+  reshuffle_round_ = snap.reshuffle_round + 1;  // stale any in-flight attempt
+  drain_.restore_epoch(snap.drain_epoch);
+  source_chunks_to_ = snap.source_chunks_to;
+  metrics_ = snap.metrics;
+  ++metrics_.scheduler_failovers;
+  ++metrics_.failures_detected;
+  metrics_.detection_latency_total += silence_sec;
+  metrics_.detection_latency_max =
+      std::max(metrics_.detection_latency_max, silence_sec);
+  if (rt().node_alive(config_->scheduler_node())) {
+    ++metrics_.false_positive_deaths;  // the handoff will depose it
+  }
+  absorb_coverage();
+
+  // Rebuild the collaborators a snapshot cannot carry: a fresh policy over
+  // the unclaimed pool, and a recovery manager seeded with the
+  // predecessor's incarnation epoch and all-time dead set.
+  policy_ = ExpansionPolicy::make(
+      config_, *this,
+      ResourcePool(rt().cluster(), snap.pool_free, config_->pick_policy));
+  policy_->adopt_spilled(snap.spilled);
+  recovery_ = std::make_unique<RecoveryManager>(
+      config_, static_cast<ExpansionEnv&>(*this),
+      static_cast<RecoveryHost&>(*this));
+  recovery_->restore(snap.epoch,
+                     std::set<ActorId>(snap.dead.begin(), snap.dead.end()));
+
+  // Node bookkeeping: initial placements are config-determined; later
+  // recruits are unknown to a promoted coordinator (that only weakens the
+  // false-positive metric, never correctness).
+  for (std::uint32_t i = 0;
+       i < sources_.size() && i < config_->data_sources; ++i) {
+    node_of_.emplace(sources_[i], config_->source_node(i));
+  }
+  for (ActorId join : joins_) detector_.track(join, Actor::now());
+  for (ActorId source : sources_) detector_.track(source, Actor::now());
+
+  EHJA_WARN(name(), "promoting to active coordinator: generation ",
+            handoff_generation_, ", checkpointed phase ",
+            static_cast<int>(snap.phase), ", epoch ", snap.epoch);
+
+  if (phase_ == Phase::kDone) {
+    // The predecessor finished the run and died after; adopt and stop.
+    rt().request_stop();
+    return;
+  }
+
+  SchedulerHandoffPayload handoff;
+  handoff.generation = handoff_generation_;
+  handoff.epoch = snap.epoch;
+  for (ActorId join : joins_) {
+    send(join,
+         make_message(Tag::kSchedulerHandoff, handoff, kControlWireBytes));
+  }
+  promotion_pending_ = true;
+  pending_handoff_acks_.clear();
+  handoff_acks_.clear();
+  for (ActorId source : sources_) {
+    pending_handoff_acks_.insert(source);
+    send(source,
+         make_message(Tag::kSchedulerHandoff, handoff, kControlWireBytes));
+  }
+  // The predecessor may be alive (false suspicion): order it to abdicate.
+  send(active_,
+       make_message(Tag::kSchedulerHandoff, handoff, kControlWireBytes));
+  defer_after(make_signal(Tag::kHeartbeatTick),
+              config_->ft.heartbeat_interval_sec);
+}
+
+void SchedulerActor::handle_handoff_ack(
+    ActorId from, const SchedulerHandoffAckPayload& ack) {
+  if (ack.generation != handoff_generation_ || !promotion_pending_) {
+    EHJA_WARN(name(), "stale handoff ack from ", from, " (generation ",
+              ack.generation, ")");
+    return;
+  }
+  if (pending_handoff_acks_.erase(from) == 0) return;  // duplicate
+  handoff_acks_[from] = ack;
+  if (pending_handoff_acks_.empty()) finish_promotion();
+}
+
+void SchedulerActor::finish_promotion() {
+  promotion_pending_ = false;
+  // Rebuild source bookkeeping from the acks: the workers' local truth
+  // outranks any checkpoint (the predecessor may have died between a
+  // source's kSourceDone and its next snapshot).
+  sources_done_build_ = 0;
+  sources_done_probe_ = 0;
+  source_chunks_build_ = 0;
+  source_chunks_probe_ = 0;
+  source_tuples_build_ = 0;
+  source_tuples_probe_ = 0;
+  source_progress_.clear();
+  source_records_.clear();
+  source_chunks_to_.clear();
+  for (const auto& [source, ack] : handoff_acks_) {
+    SourceRecord& rec = source_records_[source];
+    rec.done_build = (ack.done_mask & 0x1) != 0;
+    rec.done_probe = (ack.done_mask & 0x2) != 0;
+    rec.build_chunks = ack.build_chunks;
+    rec.probe_chunks = ack.probe_chunks;
+    rec.build_tuples = ack.build_tuples;
+    rec.probe_tuples = ack.probe_tuples;
+    if (rec.done_build) {
+      ++sources_done_build_;
+      source_chunks_build_ += ack.build_chunks;
+      source_tuples_build_ += ack.build_tuples;
+    }
+    if (rec.done_probe) {
+      ++sources_done_probe_;
+      source_chunks_probe_ += ack.probe_chunks;
+      source_tuples_probe_ += ack.probe_tuples;
+    }
+    source_progress_[source] = ack.build_tuples;
+    source_chunks_to_[source] = ack.chunks_to;
+  }
+
+  if (phase_ == Phase::kReporting) {
+    // The probe already drained, so no data is in flight; the only lost
+    // state is the report aggregation.  Joins answer a re-request with
+    // their stored report, so re-asking is idempotent.
+    metrics_.nodes.clear();
+    metrics_.join.matches = 0;
+    metrics_.join.checksum = 0;
+    metrics_.build_tuples_total = 0;
+    metrics_.probe_tuples_total = 0;
+    metrics_.extra_build_chunks = 0;
+    reports_pending_ = static_cast<std::uint32_t>(joins_.size());
+    for (ActorId join : joins_) send(join, make_signal(Tag::kReportRequest));
+  } else {
+    // Mid-phase takeover.  The checkpoint says which deliveries the
+    // predecessor *requested*, never which ones landed; the one sound
+    // answer is to assume none did and wipe-recover the whole position
+    // space through the standard machinery.
+    const bool probe_side =
+        phase_ == Phase::kProbe || phase_ == Phase::kProbeDrain ||
+        (phase_ == Phase::kRecovery && promoted_probe_recovery_);
+    drain_.abort();
+    reshuffle_sets_.clear();
+    reshuffle_pending_replies_ = 0;
+    reshuffle_pending_done_ = 0;
+    phase_ = Phase::kRecovery;
+    // A source whose stream start died with the predecessor (a replacement
+    // spawned just before the failover: its kStartBuild/kStartProbe came
+    // from the deposed coordinator and was dropped by the split-brain
+    // guard) holds no stream to replay.  Its ack's started bits expose
+    // that; re-start it as a fresh replacement so the wipe streams its
+    // slice as a normal counted stream and the done barriers stay whole.
+    for (const auto& [source, ack] : handoff_acks_) {
+      const bool started_build = (ack.done_mask & 0x4) != 0;
+      const bool started_probe = (ack.done_mask & 0x8) != 0;
+      if (!started_build) {
+        recovery_->add_fresh_source(source, probe_side);
+      } else if (probe_side && !started_probe) {
+        recovery_->add_fresh_probe_source(source);
+      }
+    }
+    recovery_->on_wipe(probe_side);
+  }
+  handoff_acks_.clear();
+  checkpoint();  // no-op (no second standby), kept for symmetry
+
+  // Replay whatever arrived mid-promotion, in arrival order.
+  std::vector<Message> stash;
+  stash.swap(promotion_stash_);
+  for (const Message& stashed : stash) on_message(stashed);
+}
+
+void SchedulerActor::handle_handoff_at_active(const Message& msg) {
+  const auto& handoff = msg.as<SchedulerHandoffPayload>();
+  if (handoff.generation <= handoff_generation_) {
+    EHJA_WARN(name(), "ignoring handoff with stale generation ",
+              handoff.generation);
+    return;
+  }
+  // A promoted standby believes this coordinator died.  Whether it is right
+  // (node about to go down) or wrong (false suspicion), exactly one
+  // coordinator may speak, and the generation orders them.
+  EHJA_WARN(name(), "deposed by promoted standby ", msg.from, " (generation ",
+            handoff.generation, "); abdicating");
+  mode_ = Mode::kDeposed;
+  handoff_generation_ = handoff.generation;
+}
+
+void SchedulerActor::start_replacement_source(ActorId source, RelTag rel,
+                                              std::uint64_t epoch) {
+  if (rel == config_->build_rel.tag) {
+    StartBuildPayload start;
+    start.map = map_;
+    start.epoch = epoch;
+    const std::size_t wire = start.map.wire_bytes();
+    send(source, make_message(Tag::kStartBuild, std::move(start), wire));
+  } else {
+    StartProbePayload start;
+    start.map = map_;
+    start.epoch = epoch;
+    const std::size_t wire = start.map.wire_bytes();
+    send(source, make_message(Tag::kStartProbe, std::move(start), wire));
+  }
+  EHJA_INFO(name(), "replacement source ", source, " starts its ",
+            rel == config_->build_rel.tag ? "build" : "probe",
+            " stream at epoch ", epoch);
+}
+
 // ------------------------------------------------------------ phase change
 
 void SchedulerActor::handle_source_done(ActorId from,
                                         const SourceDonePayload& done) {
   if (config_->recovery_enabled()) source_chunks_to_[from] = done.chunks_to;
+  SourceRecord& rec = source_records_[from];
   if (done.rel == config_->build_rel.tag) {
     ++sources_done_build_;
     source_chunks_build_ += done.chunks_sent;
     source_tuples_build_ += done.tuples_sent;
     source_progress_[from] = done.tuples_sent;
+    rec.done_build = true;
+    rec.build_chunks = done.chunks_sent;
+    rec.build_tuples = done.tuples_sent;
+    checkpoint();
     maybe_start_build_drain();
   } else {
     ++sources_done_probe_;
     source_chunks_probe_ += done.chunks_sent;
     source_tuples_probe_ += done.tuples_sent;
+    rec.done_probe = true;
+    rec.probe_chunks = done.chunks_sent;
+    rec.probe_tuples = done.tuples_sent;
+    checkpoint();
     if (sources_done_probe_ == config_->data_sources) {
       if (phase_ == Phase::kProbe) {
         phase_ = Phase::kProbeDrain;
@@ -352,6 +791,7 @@ void SchedulerActor::maybe_start_build_drain() {
   phase_ = Phase::kBuildDrain;
   drain_.arm();
   start_drain_round();
+  checkpoint();
 }
 
 void SchedulerActor::start_drain_round() {
@@ -424,6 +864,7 @@ void SchedulerActor::on_drained() {
     default:
       EHJA_CHECK_MSG(false, "drained in unexpected phase");
   }
+  checkpoint();
 }
 
 void SchedulerActor::build_complete() {
@@ -529,6 +970,7 @@ void SchedulerActor::dispatch_reshuffle_moves() {
   map_ = PartitionMap::from_entries(std::move(entries));
   ++map_version_;
   absorb_coverage();
+  checkpoint();
 }
 
 void SchedulerActor::handle_reshuffle_done(const ReshuffleDonePayload& done) {
@@ -539,6 +981,7 @@ void SchedulerActor::handle_reshuffle_done(const ReshuffleDonePayload& done) {
   phase_ = Phase::kReshuffleDrain;
   drain_.arm();
   start_drain_round();
+  checkpoint();
 }
 
 // ------------------------------------------------------------------- probe
@@ -575,6 +1018,17 @@ void SchedulerActor::handle_node_report(const NodeReportPayload& report) {
   metrics_.source_build_chunks = source_chunks_build_;
   metrics_.source_probe_chunks = source_chunks_probe_;
   // Conservation: every generated build tuple is stored exactly once.
+  if (metrics_.build_tuples_total != source_tuples_build_) {
+    EHJA_ERROR(name(), "build-tuple conservation broken: joins hold ",
+               metrics_.build_tuples_total, ", sources sent ",
+               source_tuples_build_);
+    for (const NodeMetrics& nm : metrics_.nodes) {
+      EHJA_ERROR(name(), "  join actor ", nm.actor, " node ", nm.node,
+                 " holds ", nm.build_tuples, " (received ",
+                 nm.chunks_received, " chunks, forwarded ",
+                 nm.chunks_forwarded, ")");
+    }
+  }
   EHJA_CHECK_MSG(metrics_.build_tuples_total == source_tuples_build_,
                  "build tuples lost or duplicated");
   // Probe tuples may be duplicated (replication broadcast), never lost.
@@ -586,6 +1040,7 @@ void SchedulerActor::handle_node_report(const NodeReportPayload& report) {
              metrics_.probe_tuples_total >= source_tuples_probe_);
   phase_ = Phase::kDone;
   trace_event(TraceKind::kPhase, 0, 0, "done");
+  checkpoint();
   EHJA_INFO(name(), "done: ", metrics_.summary());
   rt().request_stop();
 }

@@ -28,6 +28,27 @@
 // (core/recovery.hpp), which drives fences, range resets and source replay
 // through the same ExpansionEnv seam the policies use, then resumes the
 // interrupted phase.  The detector disarms once reporting starts.
+//
+// Scheduler failover (FaultToleranceConfig::standby_scheduler).  A second
+// SchedulerActor runs in Mode::kStandby: it holds no live protocol state of
+// its own, it only (a) keeps the latest kSchedulerSnapshot the active
+// coordinator checkpoints after every state transition and (b) watches the
+// active's pings with its own failure detector.  When the active falls
+// silent the standby *promotes*: it adopts the snapshot, broadcasts a
+// kSchedulerHandoff (with a higher generation, so joins and sources retarget
+// and a falsely-suspected active abdicates to Mode::kDeposed), waits for
+// every source's handoff ack to rebuild source bookkeeping from local truth,
+// and then runs a conservative full-coverage wipe through the existing
+// recovery machinery -- the one sound answer to "which deliveries did my
+// predecessor see?" being "assume none after the checkpoint".
+//
+// Data-source failover.  A dead source's deterministic TupleStream slice is
+// reassigned: the scheduler recruits a pool node, spawns a replacement with
+// the *same* source index (TupleStream is a pure function of seed and
+// index), subtracts the dead stream's counted contributions, and runs a
+// full-coverage wipe -- the dead stream's tuples are interleaved across all
+// position ranges, so surviving sources replay their prefixes while the
+// replacement re-emits the slice from the start as a normal counted stream.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +56,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "cluster/resource_pool.hpp"
@@ -55,9 +77,13 @@ class SchedulerActor final : public Actor,
                              private RecoveryHost {
  public:
   /// `spawn_join` instantiates a fresh join process on a given node and
-  /// returns its actor id (the driver wires it to the runtime).
+  /// returns its actor id; `spawn_source` does the same for a replacement
+  /// data source with a given source index (the driver wires both to the
+  /// runtime).  `spawn_source` may be empty when source failover is off.
   SchedulerActor(std::shared_ptr<const EhjaConfig> config,
-                 std::function<ActorId(NodeId)> spawn_join);
+                 std::function<ActorId(NodeId)> spawn_join,
+                 std::function<ActorId(NodeId, std::uint32_t)> spawn_source =
+                     {});
 
   /// Driver wiring before run(): source actors, the initial join actors
   /// (already spawned), and the pool of potential join nodes.  Constructs
@@ -65,9 +91,17 @@ class SchedulerActor final : public Actor,
   void wire(std::vector<ActorId> sources, std::vector<ActorId> initial_joins,
             ResourcePool pool);
 
+  /// Driver wiring for the *standby* instance: it only watches `active` and
+  /// keeps its snapshots; all run state arrives via checkpoints.
+  void wire_standby(ActorId active);
+  /// Tell the active instance where its standby lives (checkpoint target).
+  void set_standby(ActorId standby) { standby_ = standby; }
+
   void on_start() override;
   void on_message(const Message& msg) override;
-  std::string name() const override { return "sched"; }
+  std::string name() const override {
+    return mode_ == Mode::kStandby ? "standby" : "sched";
+  }
 
   const RunMetrics& metrics() const { return metrics_; }
   bool finished() const { return phase_ == Phase::kDone; }
@@ -111,6 +145,8 @@ class SchedulerActor final : public Actor,
   void start_settle_drain() override;
   void recovery_complete(bool probe_recovery) override;
   PosRange coverage_of(ActorId actor) const override;
+  void start_replacement_source(ActorId source, RelTag rel,
+                                std::uint64_t epoch) override;
 
   void handle_memory_full(ActorId from, const MemoryFullPayload& payload);
   void handle_op_complete(const OpCompletePayload& done);
@@ -133,6 +169,26 @@ class SchedulerActor final : public Actor,
   void handle_heartbeat_tick();
   void handle_replay_done(ActorId from, const ReplayDonePayload& done);
   void declare_dead(ActorId dead, double silence_sec);
+  /// Replace a dead data source: subtract its counted contributions, recruit
+  /// a pool node, spawn a fresh stream for the same slice.  Returns the
+  /// replacement's actor id.
+  ActorId replace_source(ActorId dead);
+  // --- scheduler failover ---
+  /// Checkpoint the full coordination state to the standby (no-op without
+  /// one).  Called after every externally visible state transition.
+  void checkpoint();
+  void on_standby_message(const Message& msg);
+  /// The active fell silent for `silence_sec`: adopt the latest snapshot
+  /// and take over the run.
+  void promote(double silence_sec);
+  /// All sources acked the handoff: rebuild source bookkeeping from the
+  /// acks, replay stashed messages, and wipe-recover (or re-request
+  /// reports when the checkpoint says the probe already drained).
+  void finish_promotion();
+  void handle_handoff_ack(ActorId from, const SchedulerHandoffAckPayload& ack);
+  /// A handoff with a higher generation reached a live active: it was
+  /// falsely suspected and must abdicate (split-brain guard).
+  void handle_handoff_at_active(const Message& msg);
   /// Fold the current map's ownership into the per-actor coverage hulls
   /// (RecoveryHost::coverage_of); called at every map change.
   void absorb_coverage();
@@ -148,6 +204,7 @@ class SchedulerActor final : public Actor,
 
   std::shared_ptr<const EhjaConfig> config_;
   std::function<ActorId(NodeId)> spawn_join_;
+  std::function<ActorId(NodeId, std::uint32_t)> spawn_source_;
 
   std::vector<ActorId> sources_;
   std::vector<ActorId> joins_;  // every join actor ever created
@@ -192,6 +249,45 @@ class SchedulerActor final : public Actor,
   /// Latest per-destination cumulative data-chunk counts per source (from
   /// kSourceDone / kReplayDone), for the live-nodes-only drain balance.
   std::map<ActorId, std::map<ActorId, std::uint64_t>> source_chunks_to_;
+  /// Cluster node hosting each actor (false-positive detection: a declared
+  /// death whose node is still alive was a detector mistake, not a crash).
+  std::map<ActorId, NodeId> node_of_;
+  /// What each source reported at its kSourceDone (per relation); a dead
+  /// source's counted contributions are subtracted from the phase totals so
+  /// its replacement can re-earn them.
+  struct SourceRecord {
+    bool done_build = false;
+    bool done_probe = false;
+    std::uint64_t build_chunks = 0;
+    std::uint64_t probe_chunks = 0;
+    std::uint64_t build_tuples = 0;
+    std::uint64_t probe_tuples = 0;
+  };
+  std::map<ActorId, SourceRecord> source_records_;
+
+  // --- scheduler failover (standby_scheduler runs only) ---
+  enum class Mode {
+    kActive,   // the coordinator of record
+    kStandby,  // holds snapshots, watches the active, promotes on silence
+    kDeposed,  // falsely suspected and superseded; stays silent forever
+  };
+  Mode mode_ = Mode::kActive;
+  ActorId standby_ = kInvalidActor;  // active side: checkpoint target
+  ActorId active_ = kInvalidActor;   // standby side: the watched coordinator
+  std::uint64_t snapshot_generation_ = 0;  // active: checkpoints sent
+  std::optional<SchedulerSnapshotPayload> snapshot_;  // standby: latest kept
+  /// Generation of the handoff this instance last issued (promoted standby)
+  /// or accepted defeat against (deposed active).  0 = never promoted.
+  std::uint64_t handoff_generation_ = 0;
+  bool promotion_pending_ = false;  // between promote() and the last ack
+  bool promoted_probe_recovery_ = false;  // checkpointed kRecovery side
+  std::set<ActorId> pending_handoff_acks_;
+  std::map<ActorId, SchedulerHandoffAckPayload> handoff_acks_;
+  /// Messages arriving mid-promotion are replayed after finish_promotion()
+  /// so the ack-rebuilt bookkeeping cannot be clobbered.
+  std::vector<Message> promotion_stash_;
+  /// Messages processed by this instance (the kScheduler kill trigger).
+  std::uint64_t messages_processed_ = 0;
 
   // completion
   std::uint32_t reports_pending_ = 0;

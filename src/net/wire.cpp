@@ -448,9 +448,16 @@ bool decode(Reader& r, JoinInitPayload& v) {
   return r.ok();
 }
 
-void encode(Writer& w, const StartBuildPayload& v) { encode(w, v.map); }
+void encode(Writer& w, const StartBuildPayload& v) {
+  encode(w, v.map);
+  w.varint(v.epoch);
+}
 
-bool decode(Reader& r, StartBuildPayload& v) { return decode(r, v.map); }
+bool decode(Reader& r, StartBuildPayload& v) {
+  if (!decode(r, v.map)) return false;
+  v.epoch = r.varint();
+  return r.ok();
+}
 
 void encode(Writer& w, const ChunkPayload& v) {
   encode(w, v.chunk);
@@ -572,9 +579,16 @@ bool decode(Reader& r, DrainAckPayload& v) {
          decode_chunk_map(r, v.forwarded_to);
 }
 
-void encode(Writer& w, const StartProbePayload& v) { encode(w, v.map); }
+void encode(Writer& w, const StartProbePayload& v) {
+  encode(w, v.map);
+  w.varint(v.epoch);
+}
 
-bool decode(Reader& r, StartProbePayload& v) { return decode(r, v.map); }
+bool decode(Reader& r, StartProbePayload& v) {
+  if (!decode(r, v.map)) return false;
+  v.epoch = r.varint();
+  return r.ok();
+}
 
 void encode(Writer& w, const HistogramRequestPayload& v) {
   w.varint(v.set_id);
@@ -712,6 +726,190 @@ bool decode(Reader& r, ReplayDonePayload& v) {
   return r.ok();
 }
 
+namespace {
+
+/// Nested per-source per-destination chunk accounting (snapshot only).
+void encode_chunks_to(
+    Writer& w, const std::map<ActorId, std::map<ActorId, std::uint64_t>>& m) {
+  w.varint(m.size());
+  for (const auto& [source, dests] : m) {
+    w.zigzag(source);
+    encode_chunk_map(w, dests);
+  }
+}
+
+bool decode_chunks_to(
+    Reader& r, std::map<ActorId, std::map<ActorId, std::uint64_t>>& m) {
+  const std::uint64_t count = r.varint();
+  if (!r.can_hold(count, 2)) return false;
+  m.clear();
+  ActorId prev = kInvalidActor;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ActorId id = kInvalidActor;
+    if (!read_id(r, id)) return false;
+    if (i > 0 && id <= prev) {
+      r.fail();
+      return false;
+    }
+    prev = id;
+    std::map<ActorId, std::uint64_t> dests;
+    if (!decode_chunk_map(r, dests)) return false;
+    m.emplace(id, std::move(dests));
+  }
+  return true;
+}
+
+/// The snapshot's metrics are the scheduler-accrued scalars only; the nodes
+/// vector and the join result are deliberately not carried (the promoted
+/// scheduler re-collects them with the final reports).
+void encode_run_metrics(Writer& w, const RunMetrics& v) {
+  w.f64(v.t_start);
+  w.f64(v.t_build_end);
+  w.f64(v.t_reshuffle_end);
+  w.f64(v.t_probe_end);
+  w.f64(v.t_complete);
+  w.f64(v.split_time);
+  w.f64(v.expand_time);
+  w.varint(v.initial_join_nodes);
+  w.varint(v.expansions);
+  w.varint(v.final_join_nodes);
+  w.u8(v.pool_exhausted ? 1 : 0);
+  w.varint(v.adaptive_splits);
+  w.varint(v.adaptive_replicas);
+  w.varint(v.source_build_chunks);
+  w.varint(v.source_probe_chunks);
+  w.varint(v.extra_build_chunks);
+  w.varint(v.failures_injected);
+  w.varint(v.failures_detected);
+  w.f64(v.detection_latency_total);
+  w.f64(v.detection_latency_max);
+  w.varint(v.false_positive_deaths);
+  w.varint(v.join_failures);
+  w.varint(v.source_failures);
+  w.varint(v.scheduler_failovers);
+  w.varint(v.recoveries);
+  w.f64(v.recovery_time_total);
+  w.varint(v.replayed_build_tuples);
+  w.varint(v.replayed_probe_tuples);
+  w.varint(v.build_tuples_total);
+  w.varint(v.probe_tuples_total);
+}
+
+bool decode_run_metrics(Reader& r, RunMetrics& v) {
+  v = RunMetrics{};
+  v.t_start = r.f64();
+  v.t_build_end = r.f64();
+  v.t_reshuffle_end = r.f64();
+  v.t_probe_end = r.f64();
+  v.t_complete = r.f64();
+  v.split_time = r.f64();
+  v.expand_time = r.f64();
+  if (!read_u32(r, v.initial_join_nodes) || !read_u32(r, v.expansions) ||
+      !read_u32(r, v.final_join_nodes) || !read_bool(r, v.pool_exhausted) ||
+      !read_u32(r, v.adaptive_splits) || !read_u32(r, v.adaptive_replicas)) {
+    return false;
+  }
+  v.source_build_chunks = r.varint();
+  v.source_probe_chunks = r.varint();
+  v.extra_build_chunks = r.varint();
+  if (!read_u32(r, v.failures_injected) || !read_u32(r, v.failures_detected)) {
+    return false;
+  }
+  v.detection_latency_total = r.f64();
+  v.detection_latency_max = r.f64();
+  if (!read_u32(r, v.false_positive_deaths) ||
+      !read_u32(r, v.join_failures) || !read_u32(r, v.source_failures) ||
+      !read_u32(r, v.scheduler_failovers) || !read_u32(r, v.recoveries)) {
+    return false;
+  }
+  v.recovery_time_total = r.f64();
+  v.replayed_build_tuples = r.varint();
+  v.replayed_probe_tuples = r.varint();
+  v.build_tuples_total = r.varint();
+  v.probe_tuples_total = r.varint();
+  return r.ok();
+}
+
+}  // namespace
+
+void encode(Writer& w, const SchedulerSnapshotPayload& v) {
+  w.varint(v.generation);
+  w.u8(v.phase);
+  w.u8(v.probe_recovery ? 1 : 0);
+  w.varint(v.epoch);
+  w.varint(v.map_version);
+  encode(w, v.map);
+  encode_owners(w, v.joins);
+  encode_owners(w, v.sources);
+  encode_owners(w, v.dead);
+  encode_owners(w, v.spilled);
+  encode_owners(w, v.pool_free);  // NodeId shares ActorId's representation
+  w.varint(v.reshuffle_round);
+  w.varint(v.drain_epoch);
+  encode_chunks_to(w, v.source_chunks_to);
+  encode_run_metrics(w, v.metrics);
+}
+
+bool decode(Reader& r, SchedulerSnapshotPayload& v) {
+  v.generation = r.varint();
+  // Phase discriminants: kBuild..kDone (9 values).
+  const std::uint8_t phase = r.u8();
+  if (phase > 8) {
+    r.fail();
+    return false;
+  }
+  v.phase = phase;
+  if (!read_bool(r, v.probe_recovery)) return false;
+  v.epoch = r.varint();
+  v.map_version = r.varint();
+  if (!decode(r, v.map)) return false;
+  if (!decode_owners(r, v.joins) || !decode_owners(r, v.sources) ||
+      !decode_owners(r, v.dead) || !decode_owners(r, v.spilled) ||
+      !decode_owners(r, v.pool_free)) {
+    return false;
+  }
+  if (!read_u32(r, v.reshuffle_round)) return false;
+  v.drain_epoch = r.varint();
+  return decode_chunks_to(r, v.source_chunks_to) &&
+         decode_run_metrics(r, v.metrics);
+}
+
+void encode(Writer& w, const SchedulerHandoffPayload& v) {
+  w.varint(v.generation);
+  w.varint(v.epoch);
+}
+
+bool decode(Reader& r, SchedulerHandoffPayload& v) {
+  v.generation = r.varint();
+  v.epoch = r.varint();
+  return r.ok();
+}
+
+void encode(Writer& w, const SchedulerHandoffAckPayload& v) {
+  w.varint(v.generation);
+  w.u8(v.done_mask);
+  w.varint(v.build_tuples);
+  w.varint(v.probe_tuples);
+  w.varint(v.build_chunks);
+  w.varint(v.probe_chunks);
+  encode_chunk_map(w, v.chunks_to);
+}
+
+bool decode(Reader& r, SchedulerHandoffAckPayload& v) {
+  v.generation = r.varint();
+  const std::uint8_t mask = r.u8();
+  if (mask > 15) {  // bits 0/1: R/S done; bits 2/3: R/S stream started
+    r.fail();
+    return false;
+  }
+  v.done_mask = mask;
+  v.build_tuples = r.varint();
+  v.probe_tuples = r.varint();
+  v.build_chunks = r.varint();
+  v.probe_chunks = r.varint();
+  return decode_chunk_map(r, v.chunks_to);
+}
+
 // --- message codec ---
 
 bool known_tag(int tag) {
@@ -748,6 +946,9 @@ bool known_tag(int tag) {
     case Tag::kRangeResetAck:
     case Tag::kReplayRequest:
     case Tag::kReplayDone:
+    case Tag::kSchedulerSnapshot:
+    case Tag::kSchedulerHandoff:
+    case Tag::kSchedulerHandoffAck:
       return true;
   }
   return false;
@@ -849,6 +1050,15 @@ void encode_message(const Message& msg, Writer& w) {
       break;
     case Tag::kReplayDone:
       encode(w, msg.as<ReplayDonePayload>());
+      break;
+    case Tag::kSchedulerSnapshot:
+      encode(w, msg.as<SchedulerSnapshotPayload>());
+      break;
+    case Tag::kSchedulerHandoff:
+      encode(w, msg.as<SchedulerHandoffPayload>());
+      break;
+    case Tag::kSchedulerHandoffAck:
+      encode(w, msg.as<SchedulerHandoffAckPayload>());
       break;
     case Tag::kGenSlice:
     case Tag::kRelief:
@@ -977,6 +1187,18 @@ bool decode_message(Reader& r, Message& out) {
     case Tag::kReplayDone:
       decoded = decode_payload_message<ReplayDonePayload>(r, tag, bytes, out);
       break;
+    case Tag::kSchedulerSnapshot:
+      decoded =
+          decode_payload_message<SchedulerSnapshotPayload>(r, tag, bytes, out);
+      break;
+    case Tag::kSchedulerHandoff:
+      decoded =
+          decode_payload_message<SchedulerHandoffPayload>(r, tag, bytes, out);
+      break;
+    case Tag::kSchedulerHandoffAck:
+      decoded = decode_payload_message<SchedulerHandoffAckPayload>(r, tag,
+                                                                  bytes, out);
+      break;
     case Tag::kGenSlice:
     case Tag::kRelief:
     case Tag::kSwitchToSpill:
@@ -1103,6 +1325,7 @@ bool decode_disk(Reader& r, DiskConfig& v) {
 void encode_faults(Writer& w, const FaultPlan& v) {
   w.varint(v.kills.size());
   for (const KillSpec& kill : v.kills) {
+    w.u8(static_cast<std::uint8_t>(kill.role));
     w.varint(kill.pool_index);
     w.f64(kill.at_time);
     w.varint(kill.after_chunks);
@@ -1111,11 +1334,12 @@ void encode_faults(Writer& w, const FaultPlan& v) {
 
 bool decode_faults(Reader& r, FaultPlan& v) {
   const std::uint64_t count = r.varint();
-  if (!r.can_hold(count, 10)) return false;
+  if (!r.can_hold(count, 11)) return false;
   v.kills.clear();
   v.kills.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     KillSpec kill;
+    if (!read_enum(r, kill.role, 2)) return false;
     if (!read_u32(r, kill.pool_index)) return false;
     kill.at_time = r.f64();
     kill.after_chunks = r.varint();
@@ -1155,6 +1379,9 @@ void encode_config(const EhjaConfig& config, Writer& w) {
   w.u8(config.ft.force_enabled ? 1 : 0);
   w.f64(config.ft.heartbeat_interval_sec);
   w.f64(config.ft.heartbeat_timeout_sec);
+  w.u8(static_cast<std::uint8_t>(config.ft.detector));
+  w.f64(config.ft.phi_threshold);
+  w.u8(config.ft.standby_scheduler ? 1 : 0);
 }
 
 bool decode_config(Reader& r, EhjaConfig& config) {
@@ -1198,7 +1425,9 @@ bool decode_config(Reader& r, EhjaConfig& config) {
   if (!read_bool(r, config.ft.force_enabled)) return false;
   config.ft.heartbeat_interval_sec = r.f64();
   config.ft.heartbeat_timeout_sec = r.f64();
-  return r.ok();
+  if (!read_enum(r, config.ft.detector, 1)) return false;
+  config.ft.phi_threshold = r.f64();
+  return read_bool(r, config.ft.standby_scheduler);
 }
 
 // --- frame layer ---

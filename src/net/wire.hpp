@@ -46,7 +46,10 @@ namespace ehja::wire {
 /// version mismatch is a decode error (mixed-build clusters must fail the
 /// handshake, not misinterpret frames).  v2: chunk bodies switched from
 /// row-interleaved to columnar encoding (ids column, then keys column).
-inline constexpr std::uint8_t kWireVersion = 2;
+/// v3: scheduler-failover vocabulary (snapshot/handoff/ack), incarnation
+/// epochs on kStartBuild/kStartProbe, kill-spec roles and detector fields
+/// in the config handshake.
+inline constexpr std::uint8_t kWireVersion = 3;
 
 /// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) over `size` bytes.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
@@ -174,6 +177,12 @@ void encode(Writer& w, const ReplayRequestPayload& v);
 bool decode(Reader& r, ReplayRequestPayload& v);
 void encode(Writer& w, const ReplayDonePayload& v);
 bool decode(Reader& r, ReplayDonePayload& v);
+void encode(Writer& w, const SchedulerSnapshotPayload& v);
+bool decode(Reader& r, SchedulerSnapshotPayload& v);
+void encode(Writer& w, const SchedulerHandoffPayload& v);
+bool decode(Reader& r, SchedulerHandoffPayload& v);
+void encode(Writer& w, const SchedulerHandoffAckPayload& v);
+bool decode(Reader& r, SchedulerHandoffAckPayload& v);
 
 // --- message codec ---
 

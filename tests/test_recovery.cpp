@@ -320,6 +320,199 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, ThreadChaosSuite,
                          algo_test_name);
 
 // ---------------------------------------------------------------------------
+// Data-source kills: the dead source's deterministic stream slice is
+// reassigned to a pool recruit with the same source index, which replays it
+// from position zero under the recovery fence.
+
+KillSpec kill_role_after(KillRole role, std::uint32_t index,
+                         std::uint64_t chunks) {
+  KillSpec kill;
+  kill.role = role;
+  kill.pool_index = index;
+  kill.after_chunks = chunks;
+  return kill;
+}
+
+KillSpec kill_role_at(KillRole role, std::uint32_t index, double at_time) {
+  KillSpec kill;
+  kill.role = role;
+  kill.pool_index = index;
+  kill.at_time = at_time;
+  return kill;
+}
+
+class SourceBuildKillSuite : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(SourceBuildKillSuite, SourceDiesMidBuildAndStillMatchesOracle) {
+  auto config = chaos_config(GetParam());
+  // Each source owns 15000 of the 30000 build tuples = 30 chunks; dying
+  // before its 10th chunk leaves two thirds of its slice unsent.
+  config.faults.kills.push_back(
+      kill_role_after(KillRole::kSource, 1, 10));
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_EQ(run.metrics.failures_injected, 1u);
+  EXPECT_EQ(run.metrics.failures_detected, 1u);
+  EXPECT_EQ(run.metrics.source_failures, 1u);
+  EXPECT_EQ(run.metrics.join_failures, 0u);
+  EXPECT_GE(run.metrics.recoveries, 1u);
+  EXPECT_GT(run.metrics.replayed_build_tuples, 0u);
+  EXPECT_EQ(run.metrics.build_tuples_total, config.build_rel.tuple_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, SourceBuildKillSuite,
+                         ::testing::Values(Algorithm::kSplit,
+                                           Algorithm::kReplicate,
+                                           Algorithm::kHybrid,
+                                           Algorithm::kOutOfCore,
+                                           Algorithm::kAdaptive),
+                         algo_test_name);
+
+class SourceProbeKillSuite : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(SourceProbeKillSuite, SourceDiesMidProbeAndStillMatchesOracle) {
+  auto config = chaos_config(GetParam());
+  // Chunk 40 is the source's 10th probe chunk (30 build chunks precede it),
+  // so the kill lands mid-probe: the replacement replays the whole build
+  // slice, then the probe slice, under the settle drain.
+  config.faults.kills.push_back(
+      kill_role_after(KillRole::kSource, 0, 40));
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_EQ(run.metrics.failures_injected, 1u);
+  EXPECT_EQ(run.metrics.source_failures, 1u);
+  EXPECT_GE(run.metrics.recoveries, 1u);
+  EXPECT_GT(run.metrics.replayed_probe_tuples, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, SourceProbeKillSuite,
+                         ::testing::Values(Algorithm::kSplit,
+                                           Algorithm::kReplicate,
+                                           Algorithm::kHybrid,
+                                           Algorithm::kOutOfCore,
+                                           Algorithm::kAdaptive),
+                         algo_test_name);
+
+TEST(RecoveryTest, SourceKilledDuringReshuffle) {
+  auto config = chaos_config(Algorithm::kHybrid);
+  config.ft.force_enabled = true;
+  const RunResult baseline = run_ehja(config);
+  ASSERT_GT(baseline.metrics.t_reshuffle_end, baseline.metrics.t_build_end);
+  const double mid = 0.5 * (baseline.metrics.t_build_end +
+                            baseline.metrics.t_reshuffle_end);
+  // Sources are idle between SourceDone and StartProbe, so this death is
+  // detected purely by heartbeat silence while the joins reshuffle.
+  config.faults.kills.push_back(kill_role_at(KillRole::kSource, 0, mid));
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_EQ(run.metrics.source_failures, 1u);
+  EXPECT_GE(run.metrics.recoveries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler kills: the standby promotes itself, reconciles against the
+// workers' handoff acks, wipes in-flight coverage, and finishes the run.
+
+class SchedulerKillSuite : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(SchedulerKillSuite, SchedulerDiesMidBuildAndStillMatchesOracle) {
+  auto config = chaos_config(GetParam());
+  config.ft.standby_scheduler = true;
+  // The scheduler's progress trigger counts protocol messages; its 25th
+  // arrives early in the build (first heartbeat rounds + expansion traffic).
+  config.faults.kills.push_back(
+      kill_role_after(KillRole::kScheduler, 0, 25));
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_EQ(run.metrics.failures_injected, 1u);
+  EXPECT_EQ(run.metrics.scheduler_failovers, 1u);
+  EXPECT_GT(run.metrics.detection_latency_total, 0.0);
+  EXPECT_EQ(run.metrics.build_tuples_total, config.build_rel.tuple_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, SchedulerKillSuite,
+                         ::testing::Values(Algorithm::kSplit,
+                                           Algorithm::kReplicate,
+                                           Algorithm::kHybrid,
+                                           Algorithm::kOutOfCore,
+                                           Algorithm::kAdaptive),
+                         algo_test_name);
+
+TEST(RecoveryTest, SchedulerKilledDuringReshuffle) {
+  auto config = chaos_config(Algorithm::kHybrid);
+  config.ft.standby_scheduler = true;
+  const RunResult baseline = run_ehja(config);
+  ASSERT_GT(baseline.metrics.t_reshuffle_end, baseline.metrics.t_build_end);
+  const double mid = 0.5 * (baseline.metrics.t_build_end +
+                            baseline.metrics.t_reshuffle_end);
+  config.faults.kills.push_back(kill_role_at(KillRole::kScheduler, 0, mid));
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_EQ(run.metrics.scheduler_failovers, 1u);
+}
+
+TEST(RecoveryTest, SchedulerKilledDuringProbe) {
+  auto config = chaos_config(Algorithm::kReplicate);
+  config.ft.standby_scheduler = true;
+  const RunResult baseline = run_ehja(config);
+  ASSERT_GT(baseline.metrics.t_probe_end, baseline.metrics.t_reshuffle_end);
+  const double mid = 0.5 * (baseline.metrics.t_reshuffle_end +
+                            baseline.metrics.t_probe_end);
+  config.faults.kills.push_back(kill_role_at(KillRole::kScheduler, 0, mid));
+  const RunResult run = run_ehja(config);
+  EXPECT_EQ(run.join(), reference_join(config));
+  EXPECT_EQ(run.metrics.scheduler_failovers, 1u);
+  EXPECT_EQ(run.metrics.probe_tuples_total, config.probe_rel.tuple_count);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzed kill point over all three roles: any single process, killed at a
+// random progress point, must still produce the oracle's exact result.
+
+TEST(RecoveryFuzz, AnyRoleRandomKillPointMatchesOracle) {
+  constexpr Algorithm kAll[] = {Algorithm::kSplit, Algorithm::kReplicate,
+                                Algorithm::kHybrid, Algorithm::kOutOfCore,
+                                Algorithm::kAdaptive};
+  constexpr KillRole kRoles[] = {KillRole::kJoin, KillRole::kSource,
+                                 KillRole::kScheduler};
+  SplitMix64 rng(20040607, /*stream=*/0x50b07);
+  for (int i = 0; i < 12; ++i) {
+    auto config = chaos_config(kAll[i % 5]);
+    config.ft.standby_scheduler = true;  // scheduler kills need the standby
+    const KillRole role = kRoles[i % 3];
+    std::uint32_t index = 0;
+    std::uint64_t chunks = 0;
+    switch (role) {
+      case KillRole::kJoin:
+        index = static_cast<std::uint32_t>(rng.next_below(3));
+        chunks = 1 + rng.next_below(90);
+        break;
+      case KillRole::kSource:
+        index = static_cast<std::uint32_t>(rng.next_below(2));
+        chunks = 1 + rng.next_below(60);
+        break;
+      case KillRole::kScheduler:
+        // The scheduler handles hundreds of messages per run; high draws
+        // also cover kills that land in late phases or never fire.
+        chunks = 1 + rng.next_below(400);
+        break;
+    }
+    SCOPED_TRACE("iteration " + std::to_string(i) + ": " +
+                 algorithm_name(config.algorithm) + ", kill " +
+                 kill_role_name(role) + "[" + std::to_string(index) +
+                 "] at progress point " + std::to_string(chunks));
+    config.faults.kills.push_back(kill_role_after(role, index, chunks));
+    const RunResult run = run_ehja(config);
+    EXPECT_EQ(run.join(), reference_join(config));
+    // A busy node can starve a live process of its heartbeat slot, so the
+    // detector may fire extra, *false-positive* detections on top of the
+    // injected death; those are tallied separately and must reconcile.
+    EXPECT_EQ(run.metrics.failures_detected - run.metrics.false_positive_deaths,
+              run.metrics.failures_injected);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // FailureDetector unit tests: the clock book in isolation.
 
 TEST(FailureDetectorTest, SilentActorDeclaredDeadAfterTimeout) {
@@ -369,6 +562,112 @@ TEST(FailureDetectorTest, ExactTimeoutBoundaryIsStillAlive) {
   const auto result = detector.tick(0.1);  // silence == timeout: not yet
   EXPECT_TRUE(result.dead.empty());
   EXPECT_EQ(result.ping, (std::vector<ActorId>{5}));
+}
+
+// ---------------------------------------------------------------------------
+// Phi-accrual detector: suspicion accrues from the pong inter-arrival
+// history, so detection is fast after a regular history and the fixed
+// timeout survives only as a hard cap and warm-up fallback.
+
+/// Feed `n` pong samples with a constant 0.1 s gap; returns the last time.
+double feed_regular_pongs(FailureDetector& detector, ActorId actor, int n) {
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += 0.1;
+    detector.heard_from(actor, t, /*sample=*/true);
+  }
+  return t;
+}
+
+TEST(PhiDetectorTest, RegularHistoryDetectsSilenceFarBelowHardTimeout) {
+  FailureDetector detector(DetectorKind::kPhiAccrual, /*timeout_sec=*/5.0,
+                           /*phi_threshold=*/4.0);
+  detector.track(7, 0.0);
+  const double t = feed_regular_pongs(detector, 7, 20);
+  // Just past the usual gap: barely suspicious, still alive.
+  EXPECT_LT(detector.phi(7, t + 0.11), 4.0);
+  EXPECT_TRUE(detector.tick(t + 0.11).dead.empty());
+  // Three gaps of silence after a metronomic history: certainty, declared
+  // dead after 0.3 s where the fixed rule would have waited 5 s.
+  const auto result = detector.tick(t + 0.3);
+  ASSERT_EQ(result.dead.size(), 1u);
+  EXPECT_EQ(result.dead[0].actor, 7);
+  EXPECT_GT(result.dead[0].phi, 4.0);
+  EXPECT_DOUBLE_EQ(result.dead[0].silence_sec, 0.3);
+}
+
+TEST(PhiDetectorTest, PhiGrowsMonotonicallyWithSilence) {
+  FailureDetector detector(DetectorKind::kPhiAccrual, 5.0, 8.0);
+  detector.track(7, 0.0);
+  const double t = feed_regular_pongs(detector, 7, 20);
+  double last = -1.0;
+  for (double dt = 0.05; dt <= 0.40; dt += 0.05) {
+    const double phi = detector.phi(7, t + dt);
+    EXPECT_GE(phi, last) << "phi must not shrink as silence grows";
+    last = phi;
+  }
+  EXPECT_GT(last, 8.0);
+}
+
+TEST(PhiDetectorTest, WarmupFallsBackToHardTimeout) {
+  FailureDetector detector(DetectorKind::kPhiAccrual, /*timeout_sec=*/0.5,
+                           /*phi_threshold=*/1.0);
+  detector.track(7, 0.0);
+  // Only 3 samples -- far below the minimum window; phi stays disarmed.
+  detector.heard_from(7, 0.1, true);
+  detector.heard_from(7, 0.2, true);
+  detector.heard_from(7, 0.3, true);
+  EXPECT_EQ(detector.phi(7, 0.69), 0.0);
+  EXPECT_TRUE(detector.tick(0.75).dead.empty());  // silence 0.45 < cap
+  const auto result = detector.tick(0.81);        // silence 0.51 > cap
+  ASSERT_EQ(result.dead.size(), 1u);
+  EXPECT_EQ(result.dead[0].actor, 7);
+}
+
+TEST(PhiDetectorTest, RecoveryGuardDoublesTheThreshold) {
+  FailureDetector detector(DetectorKind::kPhiAccrual, /*timeout_sec=*/5.0,
+                           /*phi_threshold=*/4.0);
+  detector.track(7, 0.0);
+  const double t = feed_regular_pongs(detector, 7, 20);
+  // At this silence phi sits between the plain threshold (4) and the
+  // recovery-doubled one (8): a busy rebuilder survives exactly the round
+  // that would have killed it outside recovery.
+  const double silence = 0.145;
+  const double phi = detector.phi(7, t + silence);
+  ASSERT_GT(phi, 4.0);
+  ASSERT_LT(phi, 8.0);
+  EXPECT_TRUE(detector.tick(t + silence, /*recovery_active=*/true)
+                  .dead.empty());
+  const auto result = detector.tick(t + silence, /*recovery_active=*/false);
+  ASSERT_EQ(result.dead.size(), 1u);
+  EXPECT_GT(result.dead[0].phi, 4.0);
+}
+
+TEST(PhiDetectorTest, HardCapOverridesErraticHistory) {
+  FailureDetector detector(DetectorKind::kPhiAccrual, /*timeout_sec=*/0.4,
+                           /*phi_threshold=*/50.0);  // phi alone never fires
+  detector.track(7, 0.0);
+  feed_regular_pongs(detector, 7, 20);
+  const double t = 2.0;
+  const auto result = detector.tick(t + 0.41);  // way past the cap
+  ASSERT_EQ(result.dead.size(), 1u);
+  EXPECT_EQ(result.dead[0].actor, 7);
+}
+
+// End-to-end: the phi detector drives a full chaos run and the recovery
+// still matches the oracle, with detection faster than the timeout rule.
+TEST(PhiDetectorTest, PhiDrivenRecoveryMatchesOracle) {
+  auto config = chaos_config(Algorithm::kHybrid);
+  config.ft.detector = DetectorKind::kPhiAccrual;
+  config.ft.phi_threshold = 6.0;
+  config.faults.kills.push_back(kill_after_chunks(1, 10));
+  const RunResult run = run_ehja(config);
+  expect_recovered(run, config, 1);
+  // Phi can only accelerate detection below the hard cap; ticks are
+  // discrete, so allow a ping interval of quantization past it.
+  EXPECT_LE(run.metrics.detection_latency_max,
+            config.ft.heartbeat_timeout_sec +
+                config.ft.heartbeat_interval_sec);
 }
 
 }  // namespace

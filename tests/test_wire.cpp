@@ -158,7 +158,8 @@ std::vector<Message> message_catalogue() {
                    JoinInitPayload{JoinRole::kReplica, PosRange{10, 500}, 3, 7},
                    64),
       0);
-  add(make_message(Tag::kStartBuild, StartBuildPayload{sample_map()}, 128), 0);
+  add(make_message(Tag::kStartBuild, StartBuildPayload{sample_map(), 4}, 128),
+      0);
   add(make_signal(Tag::kGenSlice), 4);
   {
     ChunkPayload p{sample_chunk(RelTag::kS), true, 9};
@@ -197,7 +198,8 @@ std::vector<Message> message_catalogue() {
     add(make_message(Tag::kDrainAck, p, 48), 5);
   }
   add(make_signal(Tag::kBuildComplete), 0);
-  add(make_message(Tag::kStartProbe, StartProbePayload{sample_map()}, 128), 0);
+  add(make_message(Tag::kStartProbe, StartProbePayload{sample_map(), 4}, 128),
+      0);
   add(make_message(Tag::kHistogramRequest, HistogramRequestPayload{1, 64, 2},
                    48),
       0);
@@ -249,6 +251,54 @@ std::vector<Message> message_catalogue() {
     p.chunks_to = {{2, 9}};
     p.chunks_sent_total = 100;
     add(make_message(Tag::kReplayDone, p, 48), 1);
+  }
+  {
+    SchedulerSnapshotPayload p;
+    p.generation = 12;
+    p.phase = 4;
+    p.probe_recovery = true;
+    p.epoch = 3;
+    p.map_version = 9;
+    p.map = sample_map();
+    p.joins = {5, 7, 9};
+    p.sources = {1, 2};
+    p.dead = {7};
+    p.spilled = {9};
+    p.pool_free = {11, 12};
+    p.reshuffle_round = 2;
+    p.drain_epoch = 6;
+    p.source_chunks_to = {{1, {{5, 3}, {7, 1}}}, {2, {{9, 4}}}};
+    p.metrics.t_start = 0.5;
+    p.metrics.t_build_end = 1.5;
+    p.metrics.split_time = 0.125;
+    p.metrics.initial_join_nodes = 3;
+    p.metrics.expansions = 2;
+    p.metrics.final_join_nodes = 5;
+    p.metrics.pool_exhausted = true;
+    p.metrics.source_build_chunks = 40;
+    p.metrics.extra_build_chunks = 7;
+    p.metrics.failures_detected = 1;
+    p.metrics.detection_latency_total = 0.75;
+    p.metrics.detection_latency_max = 0.75;
+    p.metrics.join_failures = 1;
+    p.metrics.recoveries = 1;
+    p.metrics.recovery_time_total = 0.25;
+    p.metrics.replayed_build_tuples = 99;
+    p.metrics.build_tuples_total = 12345;
+    add(make_message(Tag::kSchedulerSnapshot, p, 256), 0);
+  }
+  add(make_message(Tag::kSchedulerHandoff, SchedulerHandoffPayload{2, 5}, 48),
+      8);
+  {
+    SchedulerHandoffAckPayload p;
+    p.generation = 2;
+    p.done_mask = 0x5;  // R done + R stream started
+    p.build_tuples = 1000;
+    p.probe_tuples = 500;
+    p.build_chunks = 10;
+    p.probe_chunks = 5;
+    p.chunks_to = {{5, 7}, {6, 8}};
+    add(make_message(Tag::kSchedulerHandoffAck, p, 64), 1);
   }
   return all;
 }
@@ -457,9 +507,16 @@ EhjaConfig sample_config() {
   c.faults.kills.push_back(KillSpec{});
   c.faults.kills.back().pool_index = 1;
   c.faults.kills.back().after_chunks = 10;
+  c.faults.kills.push_back(KillSpec{});
+  c.faults.kills.back().role = KillRole::kSource;
+  c.faults.kills.back().pool_index = 0;
+  c.faults.kills.back().after_chunks = 3;
   c.ft.force_enabled = true;
   c.ft.heartbeat_interval_sec = 0.025;
   c.ft.heartbeat_timeout_sec = 0.1;
+  c.ft.detector = DetectorKind::kPhiAccrual;
+  c.ft.phi_threshold = 6.0;
+  c.ft.standby_scheduler = true;
   return c;
 }
 
@@ -483,9 +540,15 @@ TEST(WireConfig, RoundTripReencodesIdentically) {
   EXPECT_EQ(decoded.algorithm, Algorithm::kAdaptive);
   EXPECT_EQ(decoded.seed, 0xabcdefu);
   EXPECT_EQ(decoded.build_rel.tuple_count, 12345u);
-  ASSERT_EQ(decoded.faults.kills.size(), 1u);
+  ASSERT_EQ(decoded.faults.kills.size(), 2u);
+  EXPECT_EQ(decoded.faults.kills[0].role, KillRole::kJoin);
   EXPECT_EQ(decoded.faults.kills[0].after_chunks, 10u);
+  EXPECT_EQ(decoded.faults.kills[1].role, KillRole::kSource);
+  EXPECT_EQ(decoded.faults.kills[1].after_chunks, 3u);
   EXPECT_EQ(decoded.ft.heartbeat_timeout_sec, 0.1);
+  EXPECT_EQ(decoded.ft.detector, DetectorKind::kPhiAccrual);
+  EXPECT_EQ(decoded.ft.phi_threshold, 6.0);
+  EXPECT_TRUE(decoded.ft.standby_scheduler);
   EXPECT_TRUE(decoded.recovery_enabled());
 }
 

@@ -26,10 +26,16 @@
 //     --heartbeat-interval=SEC  scheduler ping cadence        (default 0.5)
 //     --heartbeat-timeout=SEC   silence before a node is declared dead
 //                               (default 5)
+//     --detector=timeout|phi    failure-detector flavour      (default timeout)
+//     --phi-threshold=X         phi-accrual suspicion threshold (default 8)
+//     --standby                 run a standby scheduler (required to survive
+//                               scheduler kills)
 //     --topology=switched|bus
-//     --kill-node=I@T       kill the join node at pool index I at time T
-//                           (virtual seconds), or after its K-th data chunk
-//                           with the form I@Kc; repeatable
+//     --kill-node=[ROLE:]I@T  kill the process at index I at time T (virtual
+//                           seconds), or after its K-th chunk/message with
+//                           the form I@Kc; ROLE is join (default), source,
+//                           or sched (index ignored; sched:0@Kc dies on its
+//                           K-th protocol message); repeatable
 //     --net-jitter=SEC      uniform extra per-message delivery delay
 //     --net-drop-prob=P     per-message drop-with-redelivery probability
 //     --trace-csv=FILE      dump the run trace as CSV
@@ -93,12 +99,27 @@ DistributionSpec parse_dist(const std::string& spec) {
   usage_error("unknown --dist " + spec);
 }
 
-// "I@T" (kill pool node I at virtual time T) or "I@Kc" (kill it as its K-th
-// data chunk arrives).
-KillSpec parse_kill(const std::string& spec) {
+// "[ROLE:]I@T" (kill the process at index I at virtual time T) or
+// "[ROLE:]I@Kc" (kill it at its K-th chunk/message).  ROLE defaults to join;
+// "source:0@3c" kills data source 0 before its 3rd chunk, "sched:0@40c"
+// kills the scheduler at its 40th protocol message.
+KillSpec parse_kill(std::string spec) {
+  KillSpec kill;
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    const std::string role = spec.substr(0, colon);
+    if (role == "join") {
+      kill.role = KillRole::kJoin;
+    } else if (role == "source") {
+      kill.role = KillRole::kSource;
+    } else if (role == "sched") {
+      kill.role = KillRole::kScheduler;
+    } else {
+      usage_error("--kill-node role must be join, source or sched");
+    }
+    spec = spec.substr(colon + 1);
+  }
   const auto at = spec.find('@');
   if (at == std::string::npos) usage_error("--kill-node needs I@T or I@Kc");
-  KillSpec kill;
   kill.pool_index =
       static_cast<std::uint32_t>(std::atoi(spec.substr(0, at).c_str()));
   const std::string trigger = spec.substr(at + 1);
@@ -197,6 +218,17 @@ int main(int argc, char** argv) {
       if (config.ft.heartbeat_timeout_sec <= 0.0) {
         usage_error("--heartbeat-timeout must be > 0");
       }
+    } else if (match_flag(argv[i], "--detector", &value)) {
+      if (value == "timeout") config.ft.detector = DetectorKind::kTimeout;
+      else if (value == "phi") config.ft.detector = DetectorKind::kPhiAccrual;
+      else usage_error("unknown --detector '" + value + "' (timeout, phi)");
+    } else if (match_flag(argv[i], "--phi-threshold", &value)) {
+      config.ft.phi_threshold = std::atof(value.c_str());
+      if (config.ft.phi_threshold <= 0.0) {
+        usage_error("--phi-threshold must be > 0");
+      }
+    } else if (match_flag(argv[i], "--standby", &value)) {
+      config.ft.standby_scheduler = true;
     } else if (match_flag(argv[i], "--topology", &value)) {
       if (value == "switched") config.link.topology = Topology::kSwitched;
       else if (value == "bus") config.link.topology = Topology::kSharedBus;
