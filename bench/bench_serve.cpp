@@ -1,0 +1,226 @@
+// Serving-layer latency/throughput tracker: one warm JoinService, workload
+// replayed at several client concurrency levels and tenant mixes.
+//
+// For each (mix, concurrency) cell the harness pushes a fixed batch of
+// small joins through a real ehja_serve front end -- TCP loopback, the
+// admission controller arbitrating, the fleet workers forked from this very
+// binary -- and records p50/p99 query latency (submit -> result) and
+// sustained queries/sec.  Results go to a JSON file (default
+// BENCH_serve.json) so the serving perf trajectory is tracked in-repo; CI
+// runs `--smoke` and fails the job when queries error or go missing.
+//
+// Usage: bench_serve [--smoke] [--out=PATH]
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/socket_runtime.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+namespace ehja {
+namespace {
+
+EhjaConfig bench_query(std::uint64_t seed, std::uint64_t tuples) {
+  EhjaConfig config;
+  config.data_sources = 1;
+  config.initial_join_nodes = 1;
+  config.join_pool_nodes = 2;
+  config.node_hash_memory_bytes = 256 * kKiB;
+  config.build_rel.tuple_count = tuples;
+  config.probe_rel.tuple_count = tuples;
+  config.chunk_tuples = 1'000;
+  config.generation_slice_tuples = 1'000;
+  config.seed = seed;
+  return config;
+}
+
+struct MixSpec {
+  std::string name;
+  std::vector<serve::TenantSpec> tenants;
+};
+
+/// Two tenant mixes: equal peers, and a high-priority tenant with a tight
+/// slot budget sharing the fleet with a bulk tenant -- the admission
+/// controller's arbitration is part of the measured path in both.
+std::vector<MixSpec> tenant_mixes() {
+  std::vector<MixSpec> mixes;
+  {
+    MixSpec m;
+    m.name = "balanced";
+    for (const char* name : {"alpha", "beta"}) {
+      serve::TenantSpec t;
+      t.name = name;
+      t.priority = 1;
+      t.max_slots = 16;
+      t.max_memory_bytes = 512 * kMiB;
+      m.tenants.push_back(std::move(t));
+    }
+    mixes.push_back(std::move(m));
+  }
+  {
+    MixSpec m;
+    m.name = "priority_skew";
+    serve::TenantSpec urgent;
+    urgent.name = "urgent";
+    urgent.priority = 5;
+    urgent.max_slots = 4;  // outranks bulk but cannot monopolize
+    urgent.max_memory_bytes = 256 * kMiB;
+    m.tenants.push_back(std::move(urgent));
+    serve::TenantSpec bulk;
+    bulk.name = "bulk";
+    bulk.priority = 0;
+    bulk.max_slots = 24;
+    bulk.max_memory_bytes = 512 * kMiB;
+    m.tenants.push_back(std::move(bulk));
+    mixes.push_back(std::move(m));
+  }
+  return mixes;
+}
+
+struct Cell {
+  int concurrency = 0;
+  serve::ReplayStats stats;
+};
+
+struct MixResult {
+  MixSpec mix;
+  std::vector<Cell> cells;
+};
+
+}  // namespace
+}  // namespace ehja
+
+int main(int argc, char** argv) {
+  using namespace ehja;
+  // The fleet's worker processes are re-executions of this binary.
+  if (const auto worker_exit = maybe_run_socket_worker(argc, argv)) {
+    return *worker_exit;
+  }
+
+  bool smoke = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "bench_serve: unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  set_log_level(LogLevel::kError);
+
+  const std::uint32_t fleet_workers = 4;
+  const std::uint64_t tuples = smoke ? 5'000 : 20'000;
+  const int queries_per_cell = smoke ? 16 : 96;
+  const std::vector<int> levels = smoke ? std::vector<int>{4, 8}
+                                        : std::vector<int>{8, 32, 64};
+
+  std::vector<MixResult> results;
+  std::uint64_t seed = 1;
+  bool healthy = true;
+
+  for (const MixSpec& mix : tenant_mixes()) {
+    MixResult mr;
+    mr.mix = mix;
+
+    // One warm service per mix: the fleet stays up across every
+    // concurrency level, exactly how a long-lived server would see load
+    // ramp up.
+    serve::ServeOptions opts;
+    opts.fleet_workers = fleet_workers;
+    opts.max_queue = 128;
+    opts.tenants = mix.tenants;
+    serve::JoinService service(std::move(opts));
+    std::atomic<bool> stop{false};
+    service.set_shutdown_flag(&stop);
+    std::thread runtime([&service] { service.run(); });
+
+    for (const int concurrency : levels) {
+      std::vector<serve::WorkloadQuery> queries;
+      for (int i = 0; i < queries_per_cell; ++i) {
+        serve::WorkloadQuery q;
+        q.tenant = mix.tenants[i % mix.tenants.size()].name;
+        q.config = bench_query(seed++, tuples);
+        queries.push_back(std::move(q));
+      }
+      Cell cell;
+      cell.concurrency = concurrency;
+      cell.stats = serve::replay_workload(service.port(), queries, concurrency,
+                                          /*verify=*/false, /*max_retries=*/500);
+      if (cell.stats.completed != cell.stats.accepted ||
+          cell.stats.errors != 0 ||
+          cell.stats.completed !=
+              static_cast<std::uint64_t>(queries_per_cell)) {
+        healthy = false;
+      }
+      std::printf(
+          "%-14s c=%-3d  %3llu/%d done  p50 %7.1f ms  p99 %7.1f ms  "
+          "%6.1f q/s  (%llu queue-full retries)\n",
+          mix.name.c_str(), concurrency,
+          static_cast<unsigned long long>(cell.stats.completed),
+          queries_per_cell, cell.stats.latency_percentile_ms(0.50),
+          cell.stats.latency_percentile_ms(0.99), cell.stats.qps(),
+          static_cast<unsigned long long>(cell.stats.retries));
+      std::fflush(stdout);
+      mr.cells.push_back(std::move(cell));
+    }
+
+    stop.store(true);
+    runtime.join();
+    results.push_back(std::move(mr));
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"serve\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"fleet_workers\": " << fleet_workers << ",\n"
+      << "  \"queries_per_cell\": " << queries_per_cell << ",\n"
+      << "  \"tuples_per_side\": " << tuples << ",\n"
+      << "  \"mixes\": {\n";
+  for (std::size_t m = 0; m < results.size(); ++m) {
+    const MixResult& mr = results[m];
+    out << "    \"" << mr.mix.name << "\": {\n";
+    out << "      \"tenants\": [";
+    for (std::size_t t = 0; t < mr.mix.tenants.size(); ++t) {
+      out << (t ? ", " : "") << "\"" << mr.mix.tenants[t].name << "\"";
+    }
+    out << "],\n      \"levels\": {\n";
+    for (std::size_t c = 0; c < mr.cells.size(); ++c) {
+      const Cell& cell = mr.cells[c];
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "        \"%d\": {\"completed\": %llu, \"p50_ms\": %.2f, "
+                    "\"p99_ms\": %.2f, \"qps\": %.2f, \"retries\": %llu, "
+                    "\"wall_sec\": %.3f}%s\n",
+                    cell.concurrency,
+                    static_cast<unsigned long long>(cell.stats.completed),
+                    cell.stats.latency_percentile_ms(0.50),
+                    cell.stats.latency_percentile_ms(0.99), cell.stats.qps(),
+                    static_cast<unsigned long long>(cell.stats.retries),
+                    cell.stats.wall_sec,
+                    c + 1 < mr.cells.size() ? "," : "");
+      out << line;
+    }
+    out << "      }\n    }" << (m + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!healthy) {
+    std::fprintf(stderr, "bench_serve: queries errored or went missing\n");
+    return 1;
+  }
+  return 0;
+}

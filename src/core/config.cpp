@@ -42,52 +42,81 @@ const char* algorithm_name(Algorithm algorithm) {
   return "?";
 }
 
-void EhjaConfig::validate() const {
-  EHJA_CHECK(initial_join_nodes >= 1);
-  EHJA_CHECK_MSG(initial_join_nodes <= join_pool_nodes,
-                 "initial join nodes exceed the pool");
-  EHJA_CHECK(data_sources >= 1);
-  EHJA_CHECK(chunk_tuples >= 1);
-  EHJA_CHECK(generation_slice_tuples >= 1);
-  EHJA_CHECK(source_progress_slices >= 1);
-  EHJA_CHECK(build_rel.tuple_count >= 1);
-  EHJA_CHECK(build_rel.schema.tuple_bytes >= 16);
-  EHJA_CHECK(probe_rel.schema.tuple_bytes >= 16);
-  EHJA_CHECK(node_hash_memory_bytes >= tuple_footprint(build_rel.schema));
-  EHJA_CHECK(reshuffle_bins >= join_pool_nodes);
-  EHJA_CHECK(spill_fanout >= 1);
+std::optional<std::string> EhjaConfig::validate_or_error() const {
+  if (initial_join_nodes < 1) return "initial join nodes must be >= 1";
+  if (initial_join_nodes > join_pool_nodes) {
+    return "initial join nodes exceed the pool";
+  }
+  if (data_sources < 1) return "data sources must be >= 1";
+  if (chunk_tuples < 1) return "transport chunk must hold >= 1 tuple";
+  if (generation_slice_tuples < 1) return "generation slice must be >= 1";
+  if (source_progress_slices < 1) return "source progress cadence must be >= 1";
+  if (build_rel.tuple_count < 1) return "build relation must hold >= 1 tuple";
+  if (build_rel.schema.tuple_bytes < 16 || probe_rel.schema.tuple_bytes < 16) {
+    return "tuples must be >= 16 bytes (id + key header)";
+  }
+  if (node_hash_memory_bytes < tuple_footprint(build_rel.schema)) {
+    return "per-node hash memory smaller than a single tuple footprint";
+  }
+  if (reshuffle_bins < join_pool_nodes) {
+    return "reshuffle bins must cover the join pool (bins >= pool)";
+  }
+  if (spill_fanout < 1) return "spill fanout must be >= 1";
   for (const KillSpec& kill : faults.kills) {
     switch (kill.role) {
       case KillRole::kJoin:
-        EHJA_CHECK_MSG(kill.pool_index < join_pool_nodes,
-                       "FaultPlan kill targets a node outside the join pool");
+        if (kill.pool_index >= join_pool_nodes) {
+          return "FaultPlan kill targets a node outside the join pool";
+        }
         break;
       case KillRole::kSource:
-        EHJA_CHECK_MSG(kill.pool_index < data_sources,
-                       "FaultPlan kill targets a nonexistent data source");
+        if (kill.pool_index >= data_sources) {
+          return "FaultPlan kill targets a nonexistent data source";
+        }
         break;
       case KillRole::kScheduler:
-        EHJA_CHECK_MSG(ft.standby_scheduler,
-                       "a scheduler kill needs ft.standby_scheduler (nobody "
-                       "else can finish the run)");
+        if (!ft.standby_scheduler) {
+          return "a scheduler kill needs ft.standby_scheduler (nobody else "
+                 "can finish the run)";
+        }
         break;
     }
     const bool time_trigger = kill.at_time >= 0.0;
     const bool chunk_trigger = kill.after_chunks > 0;
-    EHJA_CHECK_MSG(time_trigger != chunk_trigger,
-                   "KillSpec needs exactly one of at_time / after_chunks");
-  }
-  if (recovery_enabled()) {
-    EHJA_CHECK(ft.heartbeat_interval_sec > 0.0);
-    EHJA_CHECK(ft.heartbeat_timeout_sec > ft.heartbeat_interval_sec);
-    if (ft.detector == DetectorKind::kPhiAccrual) {
-      EHJA_CHECK(ft.phi_threshold > 0.0);
+    if (time_trigger == chunk_trigger) {
+      return "KillSpec needs exactly one of at_time / after_chunks";
     }
   }
-  if (ft.standby_scheduler) {
-    EHJA_CHECK_MSG(recovery_enabled(),
-                   "a standby scheduler without recovery machinery is dead "
-                   "weight; set ft.force_enabled or inject a fault");
+  // The phi knobs are checked whenever the phi detector is *selected*, not
+  // only when recovery is armed: `--detector=phi --phi-window=0` must be a
+  // usage error up front, not undefined behaviour the first time a fault
+  // plan arms the detector.
+  if (ft.detector == DetectorKind::kPhiAccrual) {
+    if (ft.phi_threshold <= 0.0) {
+      return "phi detector needs a positive suspicion threshold";
+    }
+    if (ft.phi_window < 1) {
+      return "phi detector needs an inter-arrival window of >= 1 sample";
+    }
+  }
+  if (recovery_enabled()) {
+    if (ft.heartbeat_interval_sec <= 0.0) {
+      return "heartbeat interval must be > 0";
+    }
+    if (ft.heartbeat_timeout_sec <= ft.heartbeat_interval_sec) {
+      return "heartbeat timeout must exceed the heartbeat interval";
+    }
+  }
+  if (ft.standby_scheduler && !recovery_enabled()) {
+    return "a standby scheduler without recovery machinery is dead weight; "
+           "set ft.force_enabled or inject a fault";
+  }
+  return std::nullopt;
+}
+
+void EhjaConfig::validate() const {
+  if (const std::optional<std::string> err = validate_or_error()) {
+    EHJA_CHECK_MSG(false, err->c_str());
   }
 }
 

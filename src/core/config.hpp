@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -118,6 +119,10 @@ struct FaultToleranceConfig {
   /// is still in flight), so 8 means a one-in-10^8 event.  Doubled while a
   /// recovery pass is rebuilding partitions (busy-rebuilder guard).
   double phi_threshold = 8.0;
+  /// kPhiAccrual: sliding inter-arrival window (samples kept per watched
+  /// actor).  Small windows adapt fast but overreact to one slow pong;
+  /// must be >= 1 (validated -- a zero window would leave phi undefined).
+  std::uint32_t phi_window = 32;
   /// Run a standby scheduler that mirrors the active scheduler's state via
   /// snapshot messages and promotes itself when the active one dies.  Off
   /// by default (adds one node and snapshot traffic to the timeline).
@@ -236,6 +241,13 @@ struct EhjaConfig {
   /// Sanity-check the configuration; aborts on nonsense (zero sources,
   /// initial nodes exceeding the pool, chunk of zero tuples, ...).
   void validate() const;
+
+  /// Same checks as validate(), but returns the first problem as a
+  /// human-readable message instead of aborting -- the front ends (CLI
+  /// flags, the serve layer's client-submitted configs) turn this into a
+  /// usage error / protocol reject rather than killing the process.
+  /// nullopt means the configuration is sound.
+  std::optional<std::string> validate_or_error() const;
 
   std::string to_string() const;
 };

@@ -48,7 +48,7 @@ class DataSourceActor final : public Actor {
   std::string name() const override;
   std::optional<RemoteSpawnSpec> remote_spawn_spec() const override {
     return RemoteSpawnSpec{RemoteSpawnSpec::Kind::kDataSource, source_index_,
-                           scheduler_};
+                           scheduler_, config_};
   }
 
   std::uint64_t build_chunks_sent() const { return build_chunks_; }

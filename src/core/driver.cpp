@@ -2,11 +2,8 @@
 
 #include <memory>
 #include <utility>
-#include <vector>
 
-#include "core/data_source.hpp"
-#include "core/join_process.hpp"
-#include "core/scheduler.hpp"
+#include "core/query_run.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "runtime/socket_runtime.hpp"
 #include "runtime/thread_runtime.hpp"
@@ -42,71 +39,13 @@ RunResult run_ehja(const EhjaConfig& config, RuntimeKind kind) {
       make_runtime(kind, make_cluster(config), config);
   Runtime* rt = runtime.get();
 
-  // The scheduler instantiates join processes on demand through this hook
-  // ("a join process on node w is instantiated", paper ss4.1.1); replacement
-  // data sources come through the sibling hook.  Each scheduler instance
-  // (active and standby) gets closures bound to its own id cell, so a
-  // recruit obeys whichever coordinator spawned it.
-  auto make_spawn_join = [rt, cfg](std::shared_ptr<ActorId> sched) {
-    return [rt, cfg, sched](NodeId node) {
-      return rt->spawn(node, std::make_unique<JoinProcessActor>(cfg, *sched));
-    };
-  };
-  auto make_spawn_source = [rt, cfg](std::shared_ptr<ActorId> sched) {
-    return [rt, cfg, sched](NodeId node, std::uint32_t index) {
-      return rt->spawn(node,
-                       std::make_unique<DataSourceActor>(cfg, index, *sched));
-    };
-  };
-  auto scheduler_id = std::make_shared<ActorId>(kInvalidActor);
-  auto spawn_join = make_spawn_join(scheduler_id);
-
-  auto scheduler = std::make_unique<SchedulerActor>(
-      cfg, spawn_join, make_spawn_source(scheduler_id));
-  SchedulerActor* scheduler_raw = scheduler.get();
-  *scheduler_id = rt->spawn(cfg->scheduler_node(), std::move(scheduler));
-
-  SchedulerActor* standby_raw = nullptr;
-  if (cfg->ft.standby_scheduler) {
-    auto standby_id = std::make_shared<ActorId>(kInvalidActor);
-    auto standby = std::make_unique<SchedulerActor>(
-        cfg, make_spawn_join(standby_id), make_spawn_source(standby_id));
-    standby_raw = standby.get();
-    // Under the socket runtime the coordinator process hosts the driver and
-    // cannot be killed, so the standby shares its node; the simulated and
-    // threaded runtimes give it a cluster node of its own.
-    const NodeId standby_node = kind == RuntimeKind::kSocket
-                                    ? cfg->scheduler_node()
-                                    : cfg->standby_node();
-    *standby_id = rt->spawn(standby_node, std::move(standby));
-    standby_raw->wire_standby(*scheduler_id);
-    scheduler_raw->set_standby(*standby_id);
-  }
-
-  std::vector<ActorId> sources;
-  sources.reserve(cfg->data_sources);
-  for (std::uint32_t i = 0; i < cfg->data_sources; ++i) {
-    sources.push_back(rt->spawn(
-        cfg->source_node(i),
-        std::make_unique<DataSourceActor>(cfg, i, *scheduler_id)));
-  }
-
-  std::vector<ActorId> initial_joins;
-  initial_joins.reserve(cfg->initial_join_nodes);
-  for (std::uint32_t j = 0; j < cfg->initial_join_nodes; ++j) {
-    initial_joins.push_back(spawn_join(cfg->pool_node(j)));
-  }
-
-  std::vector<NodeId> potential;
-  potential.reserve(cfg->join_pool_nodes - cfg->initial_join_nodes);
-  for (std::uint32_t j = cfg->initial_join_nodes; j < cfg->join_pool_nodes;
-       ++j) {
-    potential.push_back(cfg->pool_node(j));
-  }
-  ResourcePool pool(rt->cluster(), std::move(potential), cfg->pick_policy);
-
-  scheduler_raw->wire(std::move(sources), std::move(initial_joins),
-                      std::move(pool));
+  // One query, classic layout, run-to-completion: the whole pre-serve
+  // driver is now QueryRun with the config-derived placement.  Under the
+  // socket runtime the coordinator process hosts the driver and cannot be
+  // killed, so the standby shares its node.
+  QueryRun query(*rt, cfg);
+  query.start(QueryPlacement::from_config(
+      *cfg, /*standby_on_scheduler_node=*/kind == RuntimeKind::kSocket));
 
   // Install the fault plan's time-triggered kills (progress-triggered ones
   // fire from inside the victim process as its K-th chunk or message
@@ -123,15 +62,8 @@ RunResult run_ehja(const EhjaConfig& config, RuntimeKind kind) {
 
   rt->run();
 
-  // With a standby the run may have been finished by either coordinator.
-  SchedulerActor* finished = scheduler_raw->finished() ? scheduler_raw
-                             : standby_raw != nullptr && standby_raw->finished()
-                                 ? standby_raw
-                                 : nullptr;
-  EHJA_CHECK_MSG(finished != nullptr,
-                 "runtime stopped before the join completed");
   RunResult result;
-  result.metrics = std::as_const(*finished).metrics();
+  result.metrics = query.collect_metrics();
   result.metrics.failures_injected = rt->kills_executed();
   result.runtime = kind;
   return result;

@@ -118,10 +118,9 @@ class ExpansionPolicy {
 
   bool pool_exhausted() const { return pool_exhausted_; }
 
-  /// Unclaimed pool nodes (scheduler-failover snapshot input).
-  const std::vector<NodeId>& free_pool_nodes() const {
-    return pool_.free_nodes();
-  }
+  /// Unclaimed pool nodes (scheduler-failover snapshot input).  A copy:
+  /// the pool is thread-safe now and hands out value snapshots.
+  std::vector<NodeId> free_pool_nodes() const { return pool_.free_nodes(); }
   /// Seed the spilled list at scheduler promotion: the members already
   /// received kSwitchToSpill from the predecessor, so nothing is re-sent.
   void adopt_spilled(std::vector<ActorId> spilled) {

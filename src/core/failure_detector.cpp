@@ -8,15 +8,21 @@
 namespace ehja {
 
 FailureDetector::FailureDetector(DetectorKind kind, double timeout_sec,
-                                 double phi_threshold)
-    : kind_(kind), timeout_sec_(timeout_sec), phi_threshold_(phi_threshold) {}
+                                 double phi_threshold, std::size_t window)
+    : kind_(kind),
+      timeout_sec_(timeout_sec),
+      phi_threshold_(phi_threshold),
+      window_(window),
+      min_samples_(std::min<std::size_t>(8, window)) {
+  EHJA_CHECK(window_ >= 1);
+}
 
-void FailureDetector::Track::push_gap(double gap) {
-  if (gaps.size() < kWindow) {
+void FailureDetector::Track::push_gap(double gap, std::size_t window) {
+  if (gaps.size() < window) {
     gaps.push_back(gap);
   } else {
     gaps[next_gap] = gap;
-    next_gap = (next_gap + 1) % kWindow;
+    next_gap = (next_gap + 1) % window;
   }
 }
 
@@ -41,14 +47,14 @@ void FailureDetector::heard_from(ActorId actor, SimTime now, bool sample) {
   if (!sample) return;
   if (t.sampled_once) {
     const double gap = now - t.last_sample;
-    if (gap > 0.0) t.push_gap(gap);
+    if (gap > 0.0) t.push_gap(gap, window_);
   }
   t.sampled_once = true;
   if (now > t.last_sample) t.last_sample = now;
 }
 
 double FailureDetector::phi_of(const Track& t, SimTime now) const {
-  if (t.gaps.size() < kMinSamples) return 0.0;
+  if (t.gaps.size() < min_samples_) return 0.0;
   double mean = 0.0;
   for (double g : t.gaps) mean += g;
   mean /= static_cast<double>(t.gaps.size());
@@ -85,7 +91,7 @@ bool FailureDetector::is_dead(const Track& t, SimTime now, bool recovery_active,
     *phi_out = phi_of(t, now);
     return true;
   }
-  if (t.gaps.size() < kMinSamples) return false;  // warming up: cap only
+  if (t.gaps.size() < min_samples_) return false;  // warming up: cap only
   const double suspicion = phi_of(t, now);
   // Busy-rebuilder guard: while a recovery pass is rebuilding partitions,
   // live nodes answer pings late and irregularly; demand much stronger

@@ -53,7 +53,11 @@ class FailureDetector {
   explicit FailureDetector(double timeout_sec)
       : FailureDetector(DetectorKind::kTimeout, timeout_sec, 8.0) {}
 
-  FailureDetector(DetectorKind kind, double timeout_sec, double phi_threshold);
+  /// `window` is the phi inter-arrival ring size (ft.phi_window); it is
+  /// ignored under kTimeout.  Must be >= 1 (config validation enforces it
+  /// before a detector is ever constructed).
+  FailureDetector(DetectorKind kind, double timeout_sec, double phi_threshold,
+                  std::size_t window = 32);
 
   /// Start watching `actor`; `now` seeds its last-heard clock.
   void track(ActorId actor, SimTime now);
@@ -102,13 +106,8 @@ class FailureDetector {
     bool sampled_once = false;
     std::vector<double> gaps;   // ring buffer of inter-arrival seconds
     std::size_t next_gap = 0;   // ring cursor
-    void push_gap(double gap);
+    void push_gap(double gap, std::size_t window);
   };
-
-  /// Minimum samples before phi replaces the timeout fallback.
-  static constexpr std::size_t kMinSamples = 8;
-  /// Window size (samples kept per actor).
-  static constexpr std::size_t kWindow = 32;
 
   bool is_dead(const Track& t, SimTime now, bool recovery_active,
                double* phi_out) const;
@@ -117,6 +116,11 @@ class FailureDetector {
   DetectorKind kind_;
   double timeout_sec_;
   double phi_threshold_;
+  /// Window size (samples kept per actor) -- ft.phi_window.
+  std::size_t window_;
+  /// Minimum samples before phi replaces the timeout fallback; tiny windows
+  /// clamp it down so a window of e.g. 4 still warms up.
+  std::size_t min_samples_;
   std::map<ActorId, Track> tracked_;
 };
 

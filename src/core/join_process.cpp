@@ -21,7 +21,12 @@ std::string JoinProcessActor::name() const {
 }
 
 std::uint64_t JoinProcessActor::budget() const {
-  return rt().cluster().node(node()).hash_memory_bytes;
+  // Standalone, the cluster is derived from this config and the two sides
+  // are equal.  Serve mode: the cluster's nodes are whole warm workers
+  // shared by many queries, and this query's share is its own configured
+  // per-node budget (what admission charged for it) -- never the worker.
+  return std::min(rt().cluster().node(node()).hash_memory_bytes,
+                  config_->node_hash_memory_bytes);
 }
 
 std::uint64_t JoinProcessActor::build_tuples_held() const {

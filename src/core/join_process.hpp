@@ -55,7 +55,8 @@ class JoinProcessActor final : public Actor {
   void on_message(const Message& msg) override;
   std::string name() const override;
   std::optional<RemoteSpawnSpec> remote_spawn_spec() const override {
-    return RemoteSpawnSpec{RemoteSpawnSpec::Kind::kJoinProcess, 0, scheduler_};
+    return RemoteSpawnSpec{RemoteSpawnSpec::Kind::kJoinProcess, 0, scheduler_,
+                           config_};
   }
 
   // --- post-run observability (driver/tests) ---

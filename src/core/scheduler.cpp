@@ -17,11 +17,13 @@ SchedulerActor::SchedulerActor(
       spawn_join_(std::move(spawn_join)),
       spawn_source_(std::move(spawn_source)),
       detector_(config_->ft.detector, config_->ft.heartbeat_timeout_sec,
-                config_->ft.phi_threshold) {}
+                config_->ft.phi_threshold, config_->ft.phi_window) {}
 
 void SchedulerActor::wire(std::vector<ActorId> sources,
                           std::vector<ActorId> initial_joins,
-                          ResourcePool pool) {
+                          ResourcePool pool,
+                          std::vector<NodeId> source_nodes,
+                          std::vector<NodeId> join_nodes) {
   sources_ = std::move(sources);
   joins_ = std::move(initial_joins);
   policy_ = ExpansionPolicy::make(config_, *this, std::move(pool));
@@ -30,11 +32,15 @@ void SchedulerActor::wire(std::vector<ActorId> sources,
       static_cast<RecoveryHost&>(*this));
   EHJA_CHECK(sources_.size() == config_->data_sources);
   EHJA_CHECK(joins_.size() == config_->initial_join_nodes);
+  EHJA_CHECK(join_nodes.empty() || join_nodes.size() == joins_.size());
+  EHJA_CHECK(source_nodes.empty() || source_nodes.size() == sources_.size());
   for (std::uint32_t j = 0; j < joins_.size(); ++j) {
-    node_of_[joins_[j]] = config_->pool_node(j);
+    node_of_[joins_[j]] =
+        join_nodes.empty() ? config_->pool_node(j) : join_nodes[j];
   }
   for (std::uint32_t i = 0; i < sources_.size(); ++i) {
-    node_of_[sources_[i]] = config_->source_node(i);
+    node_of_[sources_[i]] =
+        source_nodes.empty() ? config_->source_node(i) : source_nodes[i];
   }
 }
 
@@ -572,7 +578,11 @@ void SchedulerActor::promote(double silence_sec) {
 
   if (phase_ == Phase::kDone) {
     // The predecessor finished the run and died after; adopt and stop.
-    rt().request_stop();
+    if (on_done_) {
+      on_done_();
+    } else {
+      rt().request_stop();
+    }
     return;
   }
 
@@ -1042,7 +1052,13 @@ void SchedulerActor::handle_node_report(const NodeReportPayload& report) {
   trace_event(TraceKind::kPhase, 0, 0, "done");
   checkpoint();
   EHJA_INFO(name(), "done: ", metrics_.summary());
-  rt().request_stop();
+  // A serving coordinator installs on_done_ and keeps the runtime alive for
+  // the other queries it hosts; the one-shot driver stops the world here.
+  if (on_done_) {
+    on_done_();
+  } else {
+    rt().request_stop();
+  }
 }
 
 }  // namespace ehja

@@ -87,9 +87,24 @@ class SchedulerActor final : public Actor,
 
   /// Driver wiring before run(): source actors, the initial join actors
   /// (already spawned), and the pool of potential join nodes.  Constructs
-  /// the expansion policy for the configured algorithm.
+  /// the expansion policy for the configured algorithm.  `source_nodes` /
+  /// `join_nodes` override the config-derived placement (node_of_
+  /// bookkeeping) when the caller placed the actors itself -- the serve
+  /// layer packs many queries onto one shared fleet, so a query's actors
+  /// do not live on config.source_node(i)/pool_node(j); empty means the
+  /// classic single-query layout.
   void wire(std::vector<ActorId> sources, std::vector<ActorId> initial_joins,
-            ResourcePool pool);
+            ResourcePool pool, std::vector<NodeId> source_nodes = {},
+            std::vector<NodeId> join_nodes = {});
+
+  /// Completion hook: when set, a finished run invokes it *instead of*
+  /// stopping the runtime -- a serving coordinator hosts many concurrent
+  /// schedulers and must outlive each one.  Called from the scheduler's
+  /// message context; the callee must not destroy this actor re-entrantly
+  /// (defer retirement to outside the delivery).
+  void set_on_done(std::function<void()> on_done) {
+    on_done_ = std::move(on_done);
+  }
 
   /// Driver wiring for the *standby* instance: it only watches `active` and
   /// keeps its snapshots; all run state arrives via checkpoints.
@@ -252,6 +267,7 @@ class SchedulerActor final : public Actor,
   /// Cluster node hosting each actor (false-positive detection: a declared
   /// death whose node is still alive was a detector mistake, not a crash).
   std::map<ActorId, NodeId> node_of_;
+  std::function<void()> on_done_;
   /// What each source reported at its kSourceDone (per relation); a dead
   /// source's counted contributions are subtracted from the phase totals so
   /// its replacement can re-earn them.

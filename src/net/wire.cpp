@@ -1381,6 +1381,7 @@ void encode_config(const EhjaConfig& config, Writer& w) {
   w.f64(config.ft.heartbeat_timeout_sec);
   w.u8(static_cast<std::uint8_t>(config.ft.detector));
   w.f64(config.ft.phi_threshold);
+  w.varint(config.ft.phi_window);
   w.u8(config.ft.standby_scheduler ? 1 : 0);
 }
 
@@ -1427,6 +1428,7 @@ bool decode_config(Reader& r, EhjaConfig& config) {
   config.ft.heartbeat_timeout_sec = r.f64();
   if (!read_enum(r, config.ft.detector, 1)) return false;
   config.ft.phi_threshold = r.f64();
+  if (!read_u32(r, config.ft.phi_window)) return false;
   return read_bool(r, config.ft.standby_scheduler);
 }
 
@@ -1464,11 +1466,16 @@ FrameStatus try_parse_frame(const std::uint8_t* data, std::size_t size,
     return FrameStatus::kError;
   }
   if (version != kWireVersion) {
-    if (error) *error = "wire version mismatch";
+    // Distinguish "peer is newer" from garbage: the serve layer turns the
+    // former into a polite reject, and both are clean errors, never aborts.
+    if (error) {
+      *error = version > kWireVersion ? "wire version newer than supported"
+                                      : "wire version mismatch";
+    }
     return FrameStatus::kError;
   }
   if (kind < static_cast<std::uint8_t>(FrameKind::kHello) ||
-      kind > static_cast<std::uint8_t>(FrameKind::kShutdown)) {
+      kind > kMaxFrameKind) {
     if (error) *error = "unknown frame kind";
     return FrameStatus::kError;
   }

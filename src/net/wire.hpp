@@ -49,7 +49,11 @@ namespace ehja::wire {
 /// v3: scheduler-failover vocabulary (snapshot/handoff/ack), incarnation
 /// epochs on kStartBuild/kStartProbe, kill-spec roles and detector fields
 /// in the config handshake.
-inline constexpr std::uint8_t kWireVersion = 3;
+/// v4: serving layer -- phi_window in the config handshake, client-facing
+/// frame kinds (submit/accept/reject/result/status/cancel), per-query
+/// config shipping (kQueryConfig) and actor retirement (kRetire) on the
+/// fleet links.
+inline constexpr std::uint8_t kWireVersion = 4;
 
 /// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) over `size` bytes.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
@@ -221,7 +225,29 @@ enum class FrameKind : std::uint8_t {
   kActorMsg = 8,  // any -> any: one Message between actors
   kNodeDead = 9,  // coordinator -> worker: fail-stop notice
   kShutdown = 10, // coordinator -> worker: clean exit
+  // v4 fleet extensions (serve mode; coordinator <-> warm workers).
+  kQueryConfig = 11,  // coordinator -> worker: per-query EhjaConfig + id
+  kRetire = 12,       // coordinator -> worker: forget a finished actor
+  // v4 client-facing kinds (ehja_client <-> ehja_serve).  These share the
+  // frame layer (magic/version/CRC) with the fleet protocol but carry
+  // serve/serve_wire.hpp payloads.
+  kClientHello = 13,    // client -> server: protocol handshake
+  kServerHello = 14,    // server -> client: accepted, server limits
+  kSubmitQuery = 15,    // client -> server: tenant, priority, join spec
+  kQueryAccepted = 16,  // server -> client: query id, queue position
+  kQueryRejected = 17,  // server -> client: reason + retry-after hint
+  kQueryResult = 18,    // server -> client: metrics + result digest
+  kQueryStatusReq = 19, // client -> server: poll one query
+  kQueryStatus = 20,    // server -> client: queued/running/... snapshot
+  kCancelQuery = 21,    // client -> server: abandon a queued query
+  kShutdownNotice = 22, // server -> client: draining, resubmit elsewhere
 };
+
+/// Highest FrameKind value this build understands; try_parse_frame rejects
+/// kinds above this so a frame from a *newer* build is a clean decode error
+/// (and the serve layer answers kQueryRejected) instead of an abort.
+inline constexpr std::uint8_t kMaxFrameKind =
+    static_cast<std::uint8_t>(FrameKind::kShutdownNotice);
 
 /// Frame header: magic u32 | version u8 | kind u8 | reserved u16 |
 /// body_len u32 | crc32(body) u32 -- 16 bytes, all little-endian.

@@ -32,6 +32,7 @@
 namespace ehja {
 
 class Runtime;
+struct EhjaConfig;
 
 /// Recipe for re-instantiating an actor in another OS process (the socket
 /// runtime forks one worker per cluster node).  Actors cannot be shipped as
@@ -43,6 +44,11 @@ struct RemoteSpawnSpec {
   Kind kind = Kind::kJoinProcess;
   std::uint32_t source_index = 0;  // kDataSource only
   ActorId scheduler = kInvalidActor;
+  /// The config the actor was built against.  Classic runs ship one config
+  /// in the handshake and this matches it; a serving fleet multiplexes many
+  /// queries with *different* configs onto one worker, so the socket
+  /// runtime ships this one (deduplicated) before the SPAWN that needs it.
+  std::shared_ptr<const EhjaConfig> config;
 };
 
 class Actor {
@@ -135,6 +141,12 @@ class Runtime {
 
   /// Borrow a spawned actor (driver-side result collection after run()).
   virtual Actor& actor(ActorId id) = 0;
+
+  /// Forget a finished actor: free its instance and discard any straggler
+  /// traffic addressed to it.  Optional -- one-shot runtimes tear everything
+  /// down at exit and need not implement it; a long-lived serving runtime
+  /// must, or it leaks one actor per completed query.
+  virtual void retire_actor(ActorId /*id*/) {}
 };
 
 inline void Actor::send(ActorId to, Message msg) {

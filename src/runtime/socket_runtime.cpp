@@ -15,48 +15,32 @@
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "core/data_source.hpp"
 #include "core/join_process.hpp"
+#include "net/framed_conn.hpp"
 #include "net/wire.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace ehja {
 
-namespace socket_detail {
-
-/// One TCP connection to a peer process.  Reads accumulate in `in` until
-/// try_parse_frame() can cut whole frames; writes queue in `out` and drain
-/// whenever the socket is writable (non-blocking, so a slow peer never
-/// stalls the event loop).  The per-direction frame sequence numbers carry
-/// the per-pair FIFO proof: every kActorMsg frame is stamped with
-/// next_send_seq and the receiver fifo_accept()s it against next_recv_seq.
-struct Conn {
-  int fd = -1;
-  NodeId peer = -1;
-  std::vector<std::uint8_t> in;
-  std::vector<std::uint8_t> out;
-  std::size_t out_off = 0;
-  std::uint64_t next_send_seq = 0;
-  std::uint64_t next_recv_seq = 0;
-  bool eof = false;
-  bool broken = false;
-
-  bool usable() const { return fd >= 0 && !broken; }
-  bool wants_write() const { return usable() && out.size() > out_off; }
-
-  ~Conn() {
-    if (fd >= 0) ::close(fd);
-  }
-};
-
-}  // namespace socket_detail
-
-using socket_detail::Conn;
+// The connection plumbing (Conn, listeners, frame cutting) lives in
+// net/framed_conn.{hpp,cpp} now, shared with the serve layer's client links.
+using netio::adopt_fd;
+using netio::Conn;
+using netio::connect_loopback;
+using netio::flush_out;
+using netio::make_listener;
+using netio::must_flush;
+using netio::must_recv_frame;
+using netio::next_frame;
+using netio::queue_frame;
+using netio::read_available;
 
 namespace {
 
@@ -66,182 +50,6 @@ constexpr std::size_t kLocalBatch = 64;
 constexpr int kIdlePollMs = 50;
 constexpr double kHandshakeTimeoutSec = 60.0;
 constexpr std::uint64_t kFirstIncarnation = 1;
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  EHJA_CHECK_MSG(flags >= 0, "fcntl(F_GETFL) failed");
-  EHJA_CHECK_MSG(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
-                 "fcntl(F_SETFL, O_NONBLOCK) failed");
-}
-
-void set_nodelay(int fd) {
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-}
-
-/// Loopback listener on an ephemeral port; returns the fd (non-blocking)
-/// and the chosen port.
-int make_listener(std::uint16_t& port_out) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  EHJA_CHECK_MSG(fd >= 0, "socket() failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;
-  EHJA_CHECK_MSG(
-      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
-      "bind(127.0.0.1:0) failed");
-  EHJA_CHECK_MSG(::listen(fd, 128) == 0, "listen() failed");
-  socklen_t len = sizeof(addr);
-  EHJA_CHECK_MSG(
-      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
-      "getsockname() failed");
-  port_out = ntohs(addr.sin_port);
-  set_nonblocking(fd);
-  return fd;
-}
-
-/// Blocking connect to 127.0.0.1:port with a short ECONNREFUSED retry
-/// window (peers bring their listeners up concurrently).
-int connect_loopback(std::uint16_t port) {
-  for (int attempt = 0;; ++attempt) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    EHJA_CHECK_MSG(fd >= 0, "socket() failed");
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    int rc;
-    do {
-      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-    } while (rc != 0 && errno == EINTR);
-    if (rc == 0) return fd;
-    const int err = errno;
-    ::close(fd);
-    EHJA_CHECK_MSG(err == ECONNREFUSED && attempt < 250,
-                   "connect(127.0.0.1) failed");
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  }
-}
-
-/// Drain everything currently readable into c.in.  Returns with c.eof /
-/// c.broken set on EOF or a hard error; both mean the peer process is gone
-/// (fail-stop), never a protocol decision point.
-void read_available(Conn& c) {
-  if (!c.usable()) return;
-  std::uint8_t buf[64 * 1024];
-  for (;;) {
-    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
-    if (n > 0) {
-      c.in.insert(c.in.end(), buf, buf + n);
-      if (static_cast<std::size_t>(n) < sizeof(buf)) return;
-      continue;
-    }
-    if (n == 0) {
-      c.eof = true;
-      return;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    c.broken = true;
-    return;
-  }
-}
-
-/// Push queued bytes out until the socket would block.
-void flush_out(Conn& c) {
-  if (!c.usable()) return;
-  while (c.out_off < c.out.size()) {
-    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
-                             c.out.size() - c.out_off, MSG_NOSIGNAL);
-    if (n > 0) {
-      c.out_off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    c.broken = true;  // peer died; its data is lost (fail-stop semantics)
-    return;
-  }
-  if (c.out_off == c.out.size()) {
-    c.out.clear();
-    c.out_off = 0;
-  } else if (c.out_off > (1u << 20)) {
-    c.out.erase(c.out.begin(),
-                c.out.begin() + static_cast<std::ptrdiff_t>(c.out_off));
-    c.out_off = 0;
-  }
-}
-
-void queue_frame(Conn& c, wire::FrameKind kind,
-                 const std::vector<std::uint8_t>& body) {
-  if (!c.usable()) return;
-  wire::append_frame(c.out, kind, body);
-}
-
-/// Cut one complete frame off the front of c.in.  A corrupt stream aborts:
-/// frames travel over loopback TCP between processes of the same build, so
-/// corruption here is a framing bug, not an input problem (the wire fuzz
-/// tests exercise the decode-totality contract directly).
-bool next_frame(Conn& c, wire::Frame& f) {
-  std::size_t consumed = 0;
-  std::string err;
-  const wire::FrameStatus st =
-      wire::try_parse_frame(c.in.data(), c.in.size(), consumed, f, &err);
-  if (st == wire::FrameStatus::kNeedMore) return false;
-  EHJA_CHECK_MSG(st == wire::FrameStatus::kFrame,
-                 ("corrupt frame: " + err).c_str());
-  c.in.erase(c.in.begin(), c.in.begin() + static_cast<std::ptrdiff_t>(consumed));
-  return true;
-}
-
-/// Block (via poll) until one frame arrives on `c`; handshake-only.
-wire::Frame must_recv_frame(Conn& c, double timeout_sec, const char* what) {
-  const auto deadline =
-      Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double>(timeout_sec));
-  wire::Frame f;
-  for (;;) {
-    if (next_frame(c, f)) return f;
-    EHJA_CHECK_MSG(!c.eof && !c.broken,
-                   (std::string("connection lost waiting for ") + what)
-                       .c_str());
-    EHJA_CHECK_MSG(Clock::now() < deadline,
-                   (std::string("handshake timeout waiting for ") + what)
-                       .c_str());
-    pollfd p{c.fd, POLLIN, 0};
-    const int pr = ::poll(&p, 1, 100);
-    if (pr < 0 && errno != EINTR) c.broken = true;
-    if (pr > 0) read_available(c);
-  }
-}
-
-/// Block until c.out is fully on the wire; handshake-only.
-void must_flush(Conn& c, double timeout_sec, const char* what) {
-  const auto deadline =
-      Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double>(timeout_sec));
-  while (c.wants_write()) {
-    flush_out(c);
-    if (!c.wants_write()) break;
-    EHJA_CHECK_MSG(!c.broken,
-                   (std::string("connection lost while sending ") + what)
-                       .c_str());
-    EHJA_CHECK_MSG(Clock::now() < deadline,
-                   (std::string("handshake timeout sending ") + what)
-                       .c_str());
-    pollfd p{c.fd, POLLOUT, 0};
-    ::poll(&p, 1, 100);
-  }
-}
-
-std::unique_ptr<Conn> adopt_fd(int fd) {
-  set_nonblocking(fd);
-  set_nodelay(fd);
-  auto c = std::make_unique<Conn>();
-  c->fd = fd;
-  return c;
-}
 
 // --- control frame bodies ---
 
@@ -449,11 +257,10 @@ ActorId SocketRuntime::spawn(NodeId node, std::unique_ptr<Actor> actor) {
     Actor* raw = actor.get();
     actors_.push_back(std::move(actor));
     broadcast_announce(id, node);
-    if (running_) {
-      raw->on_start();
-    } else {
-      start_q_.push_back(raw);
-    }
+    // Always via the start queue: a mid-run spawn (the serving layer starts
+    // whole queries from the idle hook) must not run on_start() before its
+    // query finishes wiring -- the scheduler's on_start needs its pool.
+    start_q_.push_back(raw);
   } else {
     const std::optional<RemoteSpawnSpec> spec = actor->remote_spawn_spec();
     EHJA_CHECK_MSG(spec.has_value(),
@@ -461,16 +268,67 @@ ActorId SocketRuntime::spawn(NodeId node, std::unique_ptr<Actor> actor) {
     // Park the instance (unbound) so actor(id) stays total; the live copy
     // runs in the worker.
     actors_.push_back(std::move(actor));
+    const std::uint32_t config_id = ship_config(node, spec->config);
     wire::Writer w;
     w.zigzag(id);
     w.u8(static_cast<std::uint8_t>(spec->kind));
     w.varint(spec->source_index);
     w.zigzag(spec->scheduler);
+    w.varint(config_id);
     queue_frame(*conns_[node], wire::FrameKind::kSpawn, w.data());
     broadcast_announce(id, node);
   }
   return id;
 }
+
+std::uint32_t SocketRuntime::ship_config(
+    NodeId node, const std::shared_ptr<const EhjaConfig>& config) {
+  // Id 0 is the handshake config every worker already holds.  Classic runs
+  // always land here: the driver builds all actors from the one config it
+  // passed to the runtime constructor.
+  if (config == nullptr || config.get() == &config_) return 0;
+  std::uint32_t id;
+  const auto it = config_ids_.find(config.get());
+  if (it != config_ids_.end()) {
+    id = it->second;
+  } else {
+    id = next_config_id_++;
+    config_ids_.emplace(config.get(), id);
+    ShippedConfig shipped;
+    shipped.config = config;
+    wire::Writer w;
+    w.varint(id);
+    wire::encode_config(*config, w);
+    shipped.body = w.take();
+    shipped_configs_.emplace(id, std::move(shipped));
+  }
+  ShippedConfig& shipped = shipped_configs_.at(id);
+  if (shipped.holders.insert(node).second && conns_[node]) {
+    queue_frame(*conns_[node], wire::FrameKind::kQueryConfig, shipped.body);
+  }
+  return id;
+}
+
+void SocketRuntime::retire_actor(ActorId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= route_.size()) return;
+  if (!retired_.insert(id).second) return;
+  actors_[id].reset();  // the local instance or the parked remote copy
+  // Everyone (owner included) forgets the actor; stragglers in flight are
+  // dropped at whichever hop sees the tombstone first.
+  wire::Writer w;
+  w.zigzag(id);
+  for (std::size_t n = 1; n < conns_.size(); ++n) {
+    if (node_dead_[n] || !conns_[n]) continue;
+    queue_frame(*conns_[n], wire::FrameKind::kRetire, w.data());
+  }
+}
+
+void SocketRuntime::watch_fd(int fd, std::function<void()> on_event) {
+  EHJA_CHECK(fd >= 0 && on_event != nullptr);
+  watched_fds_[fd] = std::move(on_event);
+}
+
+void SocketRuntime::unwatch_fd(int fd) { watched_fds_.erase(fd); }
 
 void SocketRuntime::broadcast_announce(ActorId id, NodeId owner) {
   const std::vector<std::uint8_t> body = announce_body(id, owner);
@@ -484,6 +342,7 @@ void SocketRuntime::send(Actor& from, ActorId to, Message msg) {
   EHJA_CHECK_MSG(to >= 0 && static_cast<std::size_t>(to) < route_.size(),
                  "send to unknown actor");
   if (!node_alive(from.node())) return;
+  if (retired_.count(to) != 0) return;  // finished query; traffic is void
   const NodeId dst = route_[to];
   if (dst == 0) {
     local_q_.push_back(Inbound{to, from.node(), std::move(msg)});
@@ -537,6 +396,7 @@ bool SocketRuntime::node_alive(NodeId node) const {
 Actor& SocketRuntime::actor(ActorId id) {
   EHJA_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < actors_.size(),
                  "actor id out of range");
+  EHJA_CHECK_MSG(actors_[id] != nullptr, "actor was retired");
   return *actors_[id];
 }
 
@@ -575,6 +435,7 @@ void SocketRuntime::fire_due_timers() {
 
 void SocketRuntime::deliver_local(const Inbound& in) {
   if (!node_alive(in.from_node)) return;  // sender died; message lost
+  if (retired_.count(in.to) != 0) return;  // retired mid-queue; drop
   EHJA_CHECK_MSG(route_[in.to] == 0, "local delivery to remote actor");
   actors_[in.to]->on_message(in.msg);
 }
@@ -607,10 +468,10 @@ void SocketRuntime::handle_frames(Conn& conn) {
     DecodedMsg d = parse_msg_frame(f);
     EHJA_CHECK_MSG(fifo_accept(conn.next_recv_seq, d.seq),
                    "per-pair FIFO violation on coordinator link");
-    EHJA_CHECK_MSG(
-        d.to >= 0 && static_cast<std::size_t>(d.to) < route_.size() &&
-            route_[d.to] == 0,
-        "worker misrouted a message");
+    EHJA_CHECK_MSG(d.to >= 0 && static_cast<std::size_t>(d.to) < route_.size(),
+                   "worker sent to unknown actor");
+    if (retired_.count(d.to) != 0) continue;  // straggler past retirement
+    EHJA_CHECK_MSG(route_[d.to] == 0, "worker misrouted a message");
     local_q_.push_back(Inbound{d.to, conn.peer, std::move(d.msg)});
   }
 }
@@ -641,12 +502,19 @@ void SocketRuntime::pump_sockets(int timeout_ms) {
     pfds.push_back({conns_[n]->fd, ev, 0});
     which.push_back(static_cast<NodeId>(n));
   }
+  // External fds (the serve layer's client sockets) ride the same poll.
+  const std::size_t fleet_count = pfds.size();
+  std::vector<int> ext;
+  for (const auto& [fd, cb] : watched_fds_) {
+    pfds.push_back({fd, POLLIN, 0});
+    ext.push_back(fd);
+  }
   const int pr =
       ::poll(pfds.empty() ? nullptr : pfds.data(), pfds.size(), timeout_ms);
   if (pr < 0 && errno != EINTR) {
     EHJA_CHECK_MSG(false, "poll() failed");
   }
-  for (std::size_t i = 0; i < pfds.size(); ++i) {
+  for (std::size_t i = 0; i < fleet_count; ++i) {
     std::unique_ptr<Conn>& slot = conns_[which[i]];
     if (!slot) continue;  // died while handling an earlier conn's frames
     Conn& c = *slot;
@@ -656,6 +524,15 @@ void SocketRuntime::pump_sockets(int timeout_ms) {
     // EOF/broken without a reaped exit yet: the process is mid-death; the
     // next reap() turns it into node-dead state.
   }
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    if ((pfds[fleet_count + i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) {
+      continue;
+    }
+    // The callback may watch_fd/unwatch_fd (accepting a client does both);
+    // re-check membership so we never invoke a stale entry.
+    const auto it = watched_fds_.find(ext[i]);
+    if (it != watched_fds_.end()) it->second();
+  }
 }
 
 void SocketRuntime::run() {
@@ -664,12 +541,17 @@ void SocketRuntime::run() {
   epoch_ = Clock::now();
   for (auto& [delay, fn] : pre_run_timers_) enqueue_timer(delay, std::move(fn));
   pre_run_timers_.clear();
-  for (Actor* a : start_q_) a->on_start();
-  start_q_.clear();
 
   while (!stop_) {
+    // Start freshly spawned local actors (index loop: an on_start may spawn
+    // more).  Pre-run spawns start here on the first iteration.
+    for (std::size_t i = 0; i < start_q_.size(); ++i) start_q_[i]->on_start();
+    start_q_.clear();
     drain_local(kLocalBatch);
     fire_due_timers();
+    // The serving coordinator's admission/finalization work runs here, on
+    // the runtime thread, between actor deliveries.
+    if (idle_hook_) idle_hook_();
     if (stop_) break;
     int timeout = 0;
     if (local_q_.empty()) {
@@ -732,6 +614,7 @@ class SocketWorkerRuntime final : public Runtime {
   }
 
   void send(Actor& /*from*/, ActorId to, Message msg) override {
+    if (retired_.count(to) != 0) return;  // finished query; traffic is void
     if (actors_.count(to) != 0) {
       local_q_.push_back(Inbound{to, node_, std::move(msg)});
       return;
@@ -840,6 +723,7 @@ class SocketWorkerRuntime final : public Runtime {
       const Inbound in = std::move(local_q_.front());
       local_q_.pop_front();
       if (!node_alive(in.from_node)) continue;
+      if (retired_.count(in.to) != 0) continue;  // finished query straggler
       const auto it = actors_.find(in.to);
       EHJA_CHECK_MSG(it != actors_.end(), "local queue names unknown actor");
       it->second->on_message(in.msg);
@@ -857,6 +741,8 @@ class SocketWorkerRuntime final : public Runtime {
 
   void handle_spawn(const wire::Frame& f);
   void handle_announce(const wire::Frame& f);
+  void handle_query_config(const wire::Frame& f);
+  void handle_retire(const wire::Frame& f);
   void handle_frames(Conn& c);
   void pump(int timeout_ms);
 
@@ -870,6 +756,10 @@ class SocketWorkerRuntime final : public Runtime {
 
   std::map<ActorId, std::unique_ptr<Actor>> actors_;
   std::map<ActorId, NodeId> route_;
+  std::set<ActorId> retired_;  // ids whose traffic is void (serve fleet)
+  /// Per-query configs shipped by kQueryConfig (serve fleet); id 0 is the
+  /// handshake config_.
+  std::map<std::uint32_t, std::shared_ptr<const EhjaConfig>> query_configs_;
   /// Messages that arrived for a local actor whose SPAWN frame has not been
   /// processed yet (possible: a peer learned the id from its ANNOUNCE and
   /// raced us).  Replayed, in arrival order, at spawn.
@@ -893,14 +783,23 @@ void SocketWorkerRuntime::handle_spawn(const wire::Frame& f) {
   const std::uint8_t kind = r.u8();
   const std::uint32_t source_index = static_cast<std::uint32_t>(r.varint());
   const ActorId scheduler = static_cast<ActorId>(r.zigzag());
+  const std::uint32_t config_id = static_cast<std::uint32_t>(r.varint());
   EHJA_CHECK_MSG(r.ok() && r.remaining() == 0 && kind <= 1, "corrupt SPAWN");
   EHJA_CHECK_MSG(actors_.count(id) == 0, "SPAWN for an existing actor");
 
+  std::shared_ptr<const EhjaConfig> cfg = config_;
+  if (config_id != 0) {
+    // Per-pair FIFO guarantees the kQueryConfig frame landed first.
+    const auto it = query_configs_.find(config_id);
+    EHJA_CHECK_MSG(it != query_configs_.end(),
+                   "SPAWN names an unshipped query config");
+    cfg = it->second;
+  }
   std::unique_ptr<Actor> actor;
   if (kind == static_cast<std::uint8_t>(RemoteSpawnSpec::Kind::kJoinProcess)) {
-    actor = std::make_unique<JoinProcessActor>(config_, scheduler);
+    actor = std::make_unique<JoinProcessActor>(cfg, scheduler);
   } else {
-    actor = std::make_unique<DataSourceActor>(config_, source_index, scheduler);
+    actor = std::make_unique<DataSourceActor>(cfg, source_index, scheduler);
   }
   actor->bind(this, id, node_);
   Actor* raw = actor.get();
@@ -936,6 +835,27 @@ void SocketWorkerRuntime::handle_announce(const wire::Frame& f) {
   }
 }
 
+void SocketWorkerRuntime::handle_query_config(const wire::Frame& f) {
+  wire::Reader r(f.body);
+  const std::uint32_t id = static_cast<std::uint32_t>(r.varint());
+  EhjaConfig cfg;
+  const bool ok = wire::decode_config(r, cfg);
+  EHJA_CHECK_MSG(ok && r.ok() && r.remaining() == 0, "corrupt QUERY_CONFIG");
+  EHJA_CHECK_MSG(id != 0, "query config id 0 is reserved for the handshake");
+  query_configs_[id] = std::make_shared<const EhjaConfig>(std::move(cfg));
+}
+
+void SocketWorkerRuntime::handle_retire(const wire::Frame& f) {
+  wire::Reader r(f.body);
+  const ActorId id = static_cast<ActorId>(r.zigzag());
+  EHJA_CHECK_MSG(r.ok() && r.remaining() == 0, "corrupt RETIRE");
+  retired_.insert(id);
+  actors_.erase(id);
+  route_.erase(id);
+  pending_in_.erase(id);
+  pending_out_.erase(id);
+}
+
 void SocketWorkerRuntime::handle_frames(Conn& c) {
   wire::Frame f;
   while (c.usable() && next_frame(c, f)) {
@@ -946,10 +866,17 @@ void SocketWorkerRuntime::handle_frames(Conn& c) {
       case wire::FrameKind::kAnnounce:
         handle_announce(f);
         break;
+      case wire::FrameKind::kQueryConfig:
+        handle_query_config(f);
+        break;
+      case wire::FrameKind::kRetire:
+        handle_retire(f);
+        break;
       case wire::FrameKind::kActorMsg: {
         DecodedMsg d = parse_msg_frame(f);
         EHJA_CHECK_MSG(fifo_accept(c.next_recv_seq, d.seq),
                        "per-pair FIFO violation on worker link");
+        if (retired_.count(d.to) != 0) break;  // finished query straggler
         if (actors_.count(d.to) != 0) {
           local_q_.push_back(Inbound{d.to, c.peer, std::move(d.msg)});
         } else {

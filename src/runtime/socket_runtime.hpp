@@ -45,8 +45,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "cluster/cluster_spec.hpp"
@@ -56,7 +58,7 @@
 
 namespace ehja {
 
-namespace socket_detail {
+namespace netio {
 struct Conn;
 }
 
@@ -102,6 +104,28 @@ class SocketRuntime final : public Runtime {
   std::size_t actor_count() const override { return actors_.size(); }
   Actor& actor(ActorId id) override;
 
+  // --- serving-layer extensions (see src/serve/) -----------------------
+
+  /// Forget a finished actor cluster-wide: the coordinator drops its local
+  /// instance (or tells the owning worker to), tombstones the id so
+  /// straggler traffic is silently discarded, and broadcasts kRetire.  A
+  /// long-lived coordinator would otherwise leak one Actor per query
+  /// forever.  Must not be called from inside the actor's own handler.
+  void retire_actor(ActorId id) override;
+
+  /// Hook invoked once per event-loop iteration, after local delivery and
+  /// timers, before blocking on sockets.  The serving coordinator does its
+  /// admission/finalization work here, on the runtime thread, so it never
+  /// races actor delivery.
+  void set_idle_hook(std::function<void()> hook) { idle_hook_ = std::move(hook); }
+
+  /// Poll an external fd alongside the fleet sockets; `on_event` fires on
+  /// readability (or error/EOF -- the callee inspects the fd).  This is how
+  /// the serve front end multiplexes its client listener and client
+  /// connections into the runtime's single event loop.
+  void watch_fd(int fd, std::function<void()> on_event);
+  void unwatch_fd(int fd);
+
  private:
   struct Timer {
     double due = 0.0;  // seconds on the run clock
@@ -121,10 +145,15 @@ class SocketRuntime final : public Runtime {
   void enqueue_timer(double delay_sec, std::function<void()> fn);
   double now_sec() const;
   void pump_sockets(int timeout_ms);
-  void handle_frames(socket_detail::Conn& conn);
+  void handle_frames(netio::Conn& conn);
   void mark_node_dead(NodeId node);
   void broadcast_announce(ActorId id, NodeId node);
   void shutdown_cluster();
+  /// Ship `config` (if it differs from the handshake config) to `node`
+  /// exactly once; returns the config id to stamp into the SPAWN frame
+  /// (0 = the handshake config).
+  std::uint32_t ship_config(NodeId node,
+                            const std::shared_ptr<const EhjaConfig>& config);
 
   ClusterSpec spec_;
   EhjaConfig config_;
@@ -132,10 +161,11 @@ class SocketRuntime final : public Runtime {
   int listen_fd_ = -1;
 
   /// Indexed by NodeId; entry 0 (the coordinator itself) stays null.
-  std::vector<std::unique_ptr<socket_detail::Conn>> conns_;
+  std::vector<std::unique_ptr<netio::Conn>> conns_;
 
   std::vector<std::unique_ptr<Actor>> actors_;  // remote ones stay unbound
   std::vector<NodeId> route_;                   // ActorId -> hosting node
+  std::set<ActorId> retired_;                   // ids whose traffic is void
   std::deque<Inbound> local_q_;
   std::vector<Actor*> start_q_;  // pre-run local spawns awaiting on_start
 
@@ -153,6 +183,21 @@ class SocketRuntime final : public Runtime {
   bool stopping_ = false;  // shutdown begun: exits are no longer failures
   bool shutdown_done_ = false;
   std::chrono::steady_clock::time_point epoch_;
+
+  // Serving-layer state: per-query config shipping and the external-fd /
+  // idle-hook plumbing (empty and inert for classic one-shot runs).
+  struct ShippedConfig {
+    /// Pinned so the pointer key in config_ids_ can never be recycled by a
+    /// later allocation (a few hundred bytes per distinct query config).
+    std::shared_ptr<const EhjaConfig> config;
+    std::vector<std::uint8_t> body;  // encoded once
+    std::set<NodeId> holders;        // nodes that already received it
+  };
+  std::map<const EhjaConfig*, std::uint32_t> config_ids_;
+  std::map<std::uint32_t, ShippedConfig> shipped_configs_;
+  std::uint32_t next_config_id_ = 1;
+  std::function<void()> idle_hook_;
+  std::map<int, std::function<void()>> watched_fds_;
 };
 
 }  // namespace ehja

@@ -1,0 +1,300 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ehja::serve {
+
+AdmissionController::AdmissionController(std::vector<NodeId> fleet_nodes,
+                                         std::uint64_t node_capacity_bytes,
+                                         std::size_t max_queue)
+    : fleet_nodes_(std::move(fleet_nodes)),
+      node_capacity_(node_capacity_bytes),
+      max_queue_(max_queue) {
+  EHJA_CHECK_MSG(!fleet_nodes_.empty(), "admission needs at least one node");
+  EHJA_CHECK_MSG(node_capacity_ > 0, "fleet nodes need nonzero capacity");
+  for (const NodeId n : fleet_nodes_) {
+    EHJA_CHECK_MSG(free_bytes_.emplace(n, node_capacity_).second,
+                   "duplicate fleet node");
+  }
+}
+
+void AdmissionController::add_tenant(TenantSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EHJA_CHECK_MSG(!spec.name.empty(), "tenant needs a name");
+  const std::string name = spec.name;
+  EHJA_CHECK_MSG(
+      tenants_.emplace(name, TenantState{std::move(spec), 0, 0}).second,
+      "duplicate tenant");
+}
+
+bool AdmissionController::has_tenant(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_.count(name) != 0;
+}
+
+bool AdmissionController::fits_tenant_locked(const TenantState& t,
+                                             std::uint32_t slots,
+                                             std::uint64_t bytes) const {
+  return t.slots_in_use + slots <= t.spec.max_slots &&
+         t.memory_in_use + bytes <= t.spec.max_memory_bytes;
+}
+
+NodeId AdmissionController::take_node_locked(std::uint64_t bytes) {
+  NodeId best = -1;
+  std::uint64_t best_free = 0;
+  for (const auto& [node, free] : free_bytes_) {
+    if (free >= bytes && free > best_free) {
+      best = node;
+      best_free = free;
+    }
+  }
+  if (best >= 0) free_bytes_[best] -= bytes;
+  return best;
+}
+
+std::optional<SlotPlacement> AdmissionController::try_place_locked(
+    TenantState& t, const QueryDemand& demand) {
+  if (!fits_tenant_locked(t, demand.slots(), demand.memory_bytes())) {
+    return std::nullopt;
+  }
+  SlotPlacement placement;
+  // Place joins first (the big charges): the largest-free-bytes policy then
+  // spreads them before sources fill in the gaps.
+  std::vector<std::pair<NodeId, std::uint64_t>> taken;  // rollback ledger
+  auto roll_back = [&] {
+    for (const auto& [node, bytes] : taken) free_bytes_[node] += bytes;
+  };
+  for (std::uint32_t j = 0; j < demand.join_nodes; ++j) {
+    const NodeId node = take_node_locked(demand.join_memory_bytes);
+    if (node < 0) {
+      roll_back();
+      return std::nullopt;
+    }
+    taken.emplace_back(node, demand.join_memory_bytes);
+    placement.join_nodes.push_back(node);
+  }
+  for (std::uint32_t i = 0; i < demand.sources; ++i) {
+    const NodeId node = take_node_locked(kSourceMemoryCharge);
+    if (node < 0) {
+      roll_back();
+      return std::nullopt;
+    }
+    taken.emplace_back(node, kSourceMemoryCharge);
+    placement.source_nodes.push_back(node);
+  }
+  t.slots_in_use += demand.slots();
+  t.memory_in_use += demand.memory_bytes();
+  return placement;
+}
+
+SubmitOutcome AdmissionController::submit(QueryId id, const std::string& tenant,
+                                          const QueryDemand& demand) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SubmitOutcome out;
+  if (draining_) {
+    out.reason = AdmitReject::kDraining;
+    out.message = "server is draining; resubmit elsewhere";
+    return out;
+  }
+  const auto tit = tenants_.find(tenant);
+  if (tit == tenants_.end()) {
+    out.reason = AdmitReject::kUnknownTenant;
+    out.message = "unknown tenant '" + tenant + "'";
+    return out;
+  }
+  if (demand.sources < 1 || demand.join_nodes < 1) {
+    out.reason = AdmitReject::kNeverAdmittable;
+    out.message = "a query needs at least one source and one join node";
+    return out;
+  }
+  // Never-admittable: would not fit even with the tenant idle and the fleet
+  // empty.  Rejected outright -- queueing it would wedge the line forever.
+  const TenantSpec& spec = tit->second.spec;
+  if (demand.slots() > spec.max_slots ||
+      demand.memory_bytes() > spec.max_memory_bytes) {
+    out.reason = AdmitReject::kNeverAdmittable;
+    out.message = "demand exceeds the tenant budget";
+    return out;
+  }
+  if (demand.join_memory_bytes > node_capacity_ ||
+      demand.slots() >
+          fleet_nodes_.size() * (node_capacity_ / kSourceMemoryCharge)) {
+    out.reason = AdmitReject::kNeverAdmittable;
+    out.message = "demand exceeds the fleet";
+    return out;
+  }
+  if (queue_.size() >= max_queue_) {
+    out.reason = AdmitReject::kQueueFull;
+    // Scale the hint with the backlog: a deep queue drains slowly.
+    out.retry_after_ms =
+        50 + static_cast<std::uint32_t>(25 * running_.size());
+    out.message = "admission queue full";
+    return out;
+  }
+
+  Waiting w;
+  w.id = id;
+  w.tenant = tenant;
+  w.demand = demand;
+  w.priority = spec.priority;
+  w.seq = next_seq_++;
+  const auto pos = std::upper_bound(queue_.begin(), queue_.end(), w, before);
+  const auto inserted = queue_.insert(pos, std::move(w));
+  out.accepted = true;
+  out.queue_position =
+      static_cast<std::uint32_t>(inserted - queue_.begin()) + 1;
+  return out;
+}
+
+std::optional<Admitted> AdmissionController::take_ready() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Skip-blocked backfill: the first entry (in priority order) whose tenant
+  // budget and fleet placement both fit right now.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    TenantState& t = tenants_.at(it->tenant);
+    auto placement = try_place_locked(t, it->demand);
+    if (!placement.has_value()) continue;
+    Admitted adm;
+    adm.id = it->id;
+    adm.tenant = it->tenant;
+    adm.placement = std::move(*placement);
+    Running run;
+    run.tenant = it->tenant;
+    run.demand = it->demand;
+    run.placement = adm.placement;
+    EHJA_CHECK_MSG(running_.emplace(it->id, std::move(run)).second,
+                   "query admitted twice");
+    queue_.erase(it);
+    return adm;
+  }
+  return std::nullopt;
+}
+
+void AdmissionController::on_complete(QueryId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = running_.find(id);
+  EHJA_CHECK_MSG(it != running_.end(), "completion for a query not running");
+  Running& run = it->second;
+  TenantState& t = tenants_.at(run.tenant);
+  for (const NodeId node : run.placement.join_nodes) {
+    free_bytes_[node] += run.demand.join_memory_bytes;
+  }
+  for (const NodeId node : run.placement.source_nodes) {
+    free_bytes_[node] += kSourceMemoryCharge;
+  }
+  for (const NodeId node : run.expansions) {
+    free_bytes_[node] += run.demand.join_memory_bytes;
+    EHJA_CHECK(t.slots_in_use >= 1);
+    t.slots_in_use -= 1;
+    t.memory_in_use -= run.demand.join_memory_bytes;
+  }
+  EHJA_CHECK(t.slots_in_use >= run.demand.slots());
+  EHJA_CHECK(t.memory_in_use >= run.demand.memory_bytes());
+  t.slots_in_use -= run.demand.slots();
+  t.memory_in_use -= run.demand.memory_bytes();
+  running_.erase(it);
+}
+
+std::optional<NodeId> AdmissionController::grant_expansion(QueryId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = running_.find(id);
+  EHJA_CHECK_MSG(it != running_.end(), "expansion for a query not running");
+  Running& run = it->second;
+  TenantState& t = tenants_.at(run.tenant);
+  if (!fits_tenant_locked(t, 1, run.demand.join_memory_bytes)) {
+    return std::nullopt;  // over budget: the query degrades to spilling
+  }
+  const NodeId node = take_node_locked(run.demand.join_memory_bytes);
+  if (node < 0) return std::nullopt;  // fleet is full right now
+  t.slots_in_use += 1;
+  t.memory_in_use += run.demand.join_memory_bytes;
+  run.expansions.push_back(node);
+  return node;
+}
+
+void AdmissionController::release_expansion(QueryId id, NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = running_.find(id);
+  EHJA_CHECK_MSG(it != running_.end(), "release for a query not running");
+  Running& run = it->second;
+  const auto eit =
+      std::find(run.expansions.begin(), run.expansions.end(), node);
+  EHJA_CHECK_MSG(eit != run.expansions.end(),
+                 "released a node this query was never granted");
+  run.expansions.erase(eit);
+  TenantState& t = tenants_.at(run.tenant);
+  free_bytes_[node] += run.demand.join_memory_bytes;
+  EHJA_CHECK(t.slots_in_use >= 1);
+  t.slots_in_use -= 1;
+  t.memory_in_use -= run.demand.join_memory_bytes;
+}
+
+bool AdmissionController::cancel_queued(QueryId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == id) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdmissionController::begin_drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+std::optional<std::uint32_t> AdmissionController::queue_position(
+    QueryId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].id == id) return static_cast<std::uint32_t>(i) + 1;
+  }
+  return std::nullopt;
+}
+
+bool AdmissionController::is_running(QueryId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_.count(id) != 0;
+}
+
+std::size_t AdmissionController::queued_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t AdmissionController::running_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_.size();
+}
+
+std::uint32_t AdmissionController::tenant_slots_in_use(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? 0 : it->second.slots_in_use;
+}
+
+std::uint64_t AdmissionController::tenant_memory_in_use(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? 0 : it->second.memory_in_use;
+}
+
+std::uint64_t AdmissionController::fleet_free_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [node, free] : free_bytes_) total += free;
+  return total;
+}
+
+}  // namespace ehja::serve

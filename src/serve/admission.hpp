@@ -1,0 +1,204 @@
+// Admission control for the serving layer (the cross-query half of the
+// paper's "additional resources" question).
+//
+// A single join run asks its ResourcePool for one more node when a join
+// process overflows (ss4.1.1).  A *serving* fleet runs many such queries at
+// once over one warm worker pool, so "is there a node to spare" becomes an
+// arbitration problem: which tenant, which query, charged against whose
+// budget.  This controller owns that arbitration.  It is pure bookkeeping --
+// no sockets, no actors -- so tests/test_admission.cpp can drive it
+// exhaustively.
+//
+// Model.  The fleet is a set of worker nodes, each with a memory capacity.
+// A query demands a set of process slots: one per data source (charged
+// kSourceMemoryCharge) and one per initial join process (charged the
+// query's per-node hash-memory budget).  Placement is the paper's policy
+// applied across queries: every slot goes to the fleet node with the most
+// free bytes.  Tenants carry budgets (concurrent slots, concurrent bytes)
+// and a priority; waiting queries are served priority-descending and
+// FIFO within a priority, with skip-blocked backfill: a query that does
+// not currently fit (its tenant is over budget, or the fleet is tight)
+// never blocks a later query that does.  Budgets, not the queue order,
+// are the starvation guard -- an over-budget tenant waits on *its own*
+// completions while everyone else flows.
+//
+// Expansion requests (ResourcePool hooks of a running query) come back
+// here: grant_expansion charges one more slot against the tenant and the
+// fleet and may deny -- the scheduler already treats a denied acquire as
+// "pool exhausted" and falls back to spilling, so denial is a quality
+// degradation, never a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+#include "util/units.hpp"
+
+namespace ehja::serve {
+
+using QueryId = std::uint64_t;
+
+/// Memory charged per data-source slot.  Sources hold one outgoing buffer
+/// per join node plus a generation slice -- small next to any real hash
+/// table, but not free.
+inline constexpr std::uint64_t kSourceMemoryCharge = 1 * kMiB;
+
+struct TenantSpec {
+  std::string name;
+  /// Highest number of fleet process slots (sources + joins + expansion
+  /// recruits) this tenant may hold concurrently, across all its queries.
+  std::uint32_t max_slots = 8;
+  /// Concurrent memory charge cap across all the tenant's queries.
+  std::uint64_t max_memory_bytes = 512 * kMiB;
+  /// Larger runs first; FIFO within equal priorities.
+  std::uint32_t priority = 0;
+};
+
+/// What one query wants from the fleet, derived from its EhjaConfig.
+struct QueryDemand {
+  std::uint32_t sources = 1;
+  std::uint32_t join_nodes = 1;
+  /// Per-join-node memory budget (EhjaConfig::node_hash_memory_bytes).
+  std::uint64_t join_memory_bytes = 1 * kMiB;
+
+  std::uint32_t slots() const { return sources + join_nodes; }
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(sources) * kSourceMemoryCharge +
+           static_cast<std::uint64_t>(join_nodes) * join_memory_bytes;
+  }
+};
+
+/// Fleet nodes assigned to one admitted query's initial processes.
+struct SlotPlacement {
+  std::vector<NodeId> source_nodes;
+  std::vector<NodeId> join_nodes;
+};
+
+enum class AdmitReject : std::uint8_t {
+  kQueueFull = 0,       // transient: retry after the hint
+  kNeverAdmittable = 1, // exceeds the tenant budget / fleet even when idle
+  kUnknownTenant = 2,
+  kDraining = 3,        // shutdown in progress; resubmit elsewhere
+};
+
+struct SubmitOutcome {
+  bool accepted = false;
+  std::uint32_t queue_position = 0;  // 1-based, when accepted
+  AdmitReject reason = AdmitReject::kQueueFull;
+  /// Transient rejections carry a retry hint (> 0); permanent ones 0.
+  std::uint32_t retry_after_ms = 0;
+  std::string message;
+};
+
+struct Admitted {
+  QueryId id = 0;
+  std::string tenant;
+  SlotPlacement placement;
+};
+
+class AdmissionController {
+ public:
+  /// `fleet_nodes` are the worker NodeIds available for query processes
+  /// (the serving coordinator's node is never offered); each has
+  /// `node_capacity_bytes` of memory to parcel out.  `max_queue` bounds the
+  /// waiting line -- beyond it submissions bounce with a retry hint
+  /// (backpressure instead of unbounded buffering).
+  AdmissionController(std::vector<NodeId> fleet_nodes,
+                      std::uint64_t node_capacity_bytes, std::size_t max_queue);
+
+  void add_tenant(TenantSpec spec);
+  bool has_tenant(const std::string& name) const;
+
+  /// Enqueue (or reject) one query.  Accepted queries wait until
+  /// take_ready() hands them out.
+  SubmitOutcome submit(QueryId id, const std::string& tenant,
+                       const QueryDemand& demand);
+
+  /// Highest-priority waiting query that fits right now, with its slots
+  /// charged and placed; nullopt when nothing admittable.  Call in a loop.
+  std::optional<Admitted> take_ready();
+
+  /// Release everything a finished (admitted) query held, including any
+  /// expansion grants not individually released.
+  void on_complete(QueryId id);
+
+  /// One more join-node slot for a *running* query, the serve-mode backing
+  /// of ResourcePool::acquire.  Denied (nullopt) when the tenant budget or
+  /// the fleet has no room -- the caller's scheduler degrades to spilling.
+  std::optional<NodeId> grant_expansion(QueryId id);
+  /// Return an expansion grant early (aborted expansion).
+  void release_expansion(QueryId id, NodeId node);
+
+  /// Drop a waiting query; false if it is not queued (unknown or already
+  /// running -- running queries cannot be cancelled, they drain).
+  bool cancel_queued(QueryId id);
+
+  /// Stop accepting: every later submit is rejected kDraining.  Queued and
+  /// running queries are unaffected (the server decides how to drain them).
+  void begin_drain();
+  bool draining() const;
+
+  // --- introspection (status replies and tests) ---
+  std::optional<std::uint32_t> queue_position(QueryId id) const;  // 1-based
+  bool is_running(QueryId id) const;
+  std::size_t queued_count() const;
+  std::size_t running_count() const;
+  std::uint32_t tenant_slots_in_use(const std::string& name) const;
+  std::uint64_t tenant_memory_in_use(const std::string& name) const;
+  std::uint64_t fleet_free_bytes() const;
+
+ private:
+  struct Waiting {
+    QueryId id = 0;
+    std::string tenant;
+    QueryDemand demand;
+    std::uint32_t priority = 0;
+    std::uint64_t seq = 0;
+  };
+  struct Running {
+    std::string tenant;
+    QueryDemand demand;
+    SlotPlacement placement;
+    std::vector<NodeId> expansions;
+  };
+  struct TenantState {
+    TenantSpec spec;
+    std::uint32_t slots_in_use = 0;
+    std::uint64_t memory_in_use = 0;
+  };
+
+  /// Waiting-queue order: priority descending, then submission order.
+  static bool before(const Waiting& a, const Waiting& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq < b.seq;
+  }
+
+  bool fits_tenant_locked(const TenantState& t, std::uint32_t slots,
+                          std::uint64_t bytes) const;
+  /// Charge + place one query's demand, or change nothing and return
+  /// nullopt.  Caller holds the lock.
+  std::optional<SlotPlacement> try_place_locked(TenantState& t,
+                                                const QueryDemand& demand);
+  /// Fleet node with the most free bytes that still fits `bytes`, charged;
+  /// -1 when none fits.  Caller holds the lock.
+  NodeId take_node_locked(std::uint64_t bytes);
+
+  mutable std::mutex mutex_;
+  std::vector<NodeId> fleet_nodes_;
+  std::uint64_t node_capacity_ = 0;
+  std::size_t max_queue_ = 0;
+  std::map<NodeId, std::uint64_t> free_bytes_;
+  std::map<std::string, TenantState> tenants_;
+  std::deque<Waiting> queue_;  // kept sorted per before()
+  std::map<QueryId, Running> running_;
+  std::uint64_t next_seq_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace ehja::serve

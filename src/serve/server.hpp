@@ -1,0 +1,171 @@
+// ehja_serve: a long-lived multi-tenant join service.
+//
+// One coordinator process owns a warm worker fleet (SocketRuntime: the
+// workers are forked once, at startup, and survive across queries) and a
+// TCP front door.  Clients connect, submit join configurations, and get
+// results back; the AdmissionController arbitrates the fleet across
+// tenants.  Many queries run concurrently: each is a core/query_run.hpp
+// QueryRun -- its own scheduler actor on the coordinator node, its own
+// sources and join processes packed onto the shared workers, its own
+// metrics -- multiplexed onto the one runtime.
+//
+// Threading.  Everything happens on the runtime thread: client sockets are
+// folded into the fleet's poll loop via SocketRuntime::watch_fd, and all
+// admission / finalization work runs in the runtime's idle hook
+// (service_tick).  A query's completion callback only records the id;
+// finalization -- metrics collection, the result frame, actor retirement --
+// is deferred to the next tick, because tearing a scheduler down from
+// inside its own handler would be use-after-free.
+//
+// Shutdown.  begin_shutdown() (SIGTERM in tools/ehja_serve.cpp) stops
+// admission, bounces the queued backlog with kDraining, notifies every
+// client, lets in-flight queries drain until a deadline, then stops the
+// runtime; run() returns and the fleet is torn down.  Exit is 0 -- drain-
+// by-deadline is a normal way for a server to die.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/query_run.hpp"
+#include "net/framed_conn.hpp"
+#include "runtime/socket_runtime.hpp"
+#include "serve/admission.hpp"
+#include "serve/serve_wire.hpp"
+
+namespace ehja::serve {
+
+struct ServeOptions {
+  /// Client-facing TCP port; 0 picks an ephemeral one (see port()).
+  std::uint16_t requested_port = 0;
+  /// Warm worker processes (>= 2; fleet NodeIds 1..fleet_workers).
+  std::uint32_t fleet_workers = 4;
+  /// Memory each worker parcels out to the query processes placed on it.
+  std::uint64_t worker_memory_bytes = 256 * kMiB;
+  /// Admission queue bound; beyond it submissions bounce with retry-after.
+  std::size_t max_queue = 64;
+  /// How long begin_shutdown waits for in-flight queries before stopping.
+  double drain_deadline_sec = 30.0;
+  std::vector<TenantSpec> tenants;
+};
+
+class JoinService {
+ public:
+  explicit JoinService(ServeOptions opts);
+  ~JoinService();
+
+  JoinService(const JoinService&) = delete;
+  JoinService& operator=(const JoinService&) = delete;
+
+  /// The bound client-facing port (== requested_port unless that was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Serve until shutdown completes.  Runs the fleet event loop on the
+  /// calling thread.
+  void run();
+
+  /// Begin the drain (idempotent).  Safe from the runtime thread; signal
+  /// handlers should instead set the flag given to set_shutdown_flag.
+  void begin_shutdown();
+
+  /// Async-signal-safe shutdown path: the service polls `flag` every tick
+  /// and calls begin_shutdown() when it goes true.
+  void set_shutdown_flag(const std::atomic<bool>* flag) {
+    shutdown_flag_ = flag;
+  }
+
+  // --- observability (tests and the tools' exit summaries) ---
+  std::uint64_t queries_completed() const { return queries_completed_; }
+  std::uint64_t queries_rejected() const { return queries_rejected_; }
+  AdmissionController& admission() { return admission_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct ClientConn {
+    std::unique_ptr<netio::Conn> conn;
+    std::string tenant;
+    bool hello_done = false;
+    bool drop = false;         // close once the out buffer drains
+    bool broken_reply = false; // framing error: send one farewell reject
+  };
+  struct QueuedQuery {
+    std::uint64_t client_id = 0;
+    std::uint64_t client_seq = 0;
+    std::shared_ptr<const EhjaConfig> config;
+    Clock::time_point submitted;
+  };
+  struct ActiveQuery {
+    std::uint64_t client_id = 0;
+    std::string tenant;
+    std::shared_ptr<const EhjaConfig> config;
+    std::unique_ptr<QueryRun> run;
+    Clock::time_point submitted;
+    Clock::time_point started;
+  };
+
+  static EhjaConfig fleet_config(const ServeOptions& opts);
+
+  void on_listener_event();
+  void on_client_event(std::uint64_t client_id);
+  void dispatch(std::uint64_t client_id, const wire::Frame& f);
+  void handle_submit(std::uint64_t client_id, const wire::Frame& f);
+  void handle_status(std::uint64_t client_id, const wire::Frame& f);
+  void handle_cancel(std::uint64_t client_id, const wire::Frame& f);
+  void send_reject(std::uint64_t client_id, std::uint64_t client_seq,
+                   RejectCode reason, std::uint32_t retry_after_ms,
+                   std::string message);
+  template <typename Payload>
+  void send_payload(std::uint64_t client_id, wire::FrameKind kind,
+                    const Payload& payload);
+  QueryState state_of(QueryId id, std::uint32_t& queue_position) const;
+
+  /// The once-per-loop-iteration service work (registered as the runtime's
+  /// idle hook): finalize completed queries, admit from the queue, flush
+  /// and reap client connections, advance the drain.
+  void service_tick();
+  void pump_admission();
+  void start_query(Admitted adm);
+  void finalize_query(QueryId id);
+  void drop_client(std::uint64_t client_id);
+  void record_finished(QueryId id, QueryState state);
+
+  ServeOptions opts_;
+  EhjaConfig fleet_config_;
+  AdmissionController admission_;
+  std::unique_ptr<SocketRuntime> rt_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::map<std::uint64_t, ClientConn> clients_;
+  std::map<int, std::uint64_t> fd_to_client_;
+  std::uint64_t next_client_id_ = 1;
+
+  std::map<QueryId, QueuedQuery> queued_;
+  std::map<QueryId, ActiveQuery> running_;
+  /// Filled by the queries' on_done callbacks (runtime thread); drained by
+  /// service_tick.  Never finalized inside the callback -- see file comment.
+  std::vector<QueryId> completed_;
+  QueryId next_query_id_ = 1;
+
+  /// Terminal states of recently finished queries for status replies,
+  /// bounded FIFO so a long-lived server cannot grow without bound.
+  std::map<QueryId, QueryState> finished_;
+  std::deque<QueryId> finished_order_;
+
+  const std::atomic<bool>* shutdown_flag_ = nullptr;
+  bool draining_ = false;
+  Clock::time_point drain_deadline_;
+
+  std::uint64_t queries_completed_ = 0;
+  std::uint64_t queries_rejected_ = 0;
+};
+
+}  // namespace ehja::serve

@@ -1,0 +1,273 @@
+// AdmissionController unit tests (serve/admission.hpp).
+//
+// The controller is pure bookkeeping -- no sockets, no actors -- so every
+// policy promise in its header is checked here directly: priority order with
+// FIFO within a priority, skip-blocked backfill, per-tenant slot/memory
+// budgets, queue-full backpressure with a retry hint, permanent rejection of
+// never-admittable demands, expansion grant/deny, cancel, and drain.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "util/units.hpp"
+
+namespace ehja::serve {
+namespace {
+
+AdmissionController small_fleet(std::size_t max_queue = 16,
+                                std::uint64_t node_capacity = 64 * kMiB,
+                                std::uint32_t nodes = 4) {
+  std::vector<NodeId> ids;
+  for (std::uint32_t n = 1; n <= nodes; ++n) ids.push_back(static_cast<NodeId>(n));
+  return AdmissionController(ids, node_capacity, max_queue);
+}
+
+TenantSpec tenant(const std::string& name, std::uint32_t priority,
+                  std::uint32_t max_slots = 8,
+                  std::uint64_t max_memory = 256 * kMiB) {
+  TenantSpec t;
+  t.name = name;
+  t.priority = priority;
+  t.max_slots = max_slots;
+  t.max_memory_bytes = max_memory;
+  return t;
+}
+
+QueryDemand demand(std::uint32_t sources = 1, std::uint32_t joins = 1,
+                   std::uint64_t join_mem = 4 * kMiB) {
+  QueryDemand d;
+  d.sources = sources;
+  d.join_nodes = joins;
+  d.join_memory_bytes = join_mem;
+  return d;
+}
+
+TEST(Admission, AdmitsAndPlacesWithinBudget) {
+  AdmissionController adm = small_fleet();
+  adm.add_tenant(tenant("alpha", 0));
+  const SubmitOutcome out = adm.submit(1, "alpha", demand(1, 2));
+  ASSERT_TRUE(out.accepted);
+  EXPECT_EQ(out.queue_position, 1u);
+
+  const auto a = adm.take_ready();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->id, 1u);
+  EXPECT_EQ(a->placement.source_nodes.size(), 1u);
+  EXPECT_EQ(a->placement.join_nodes.size(), 2u);
+  EXPECT_TRUE(adm.is_running(1));
+  EXPECT_EQ(adm.tenant_slots_in_use("alpha"), 3u);
+  EXPECT_EQ(adm.tenant_memory_in_use("alpha"),
+            kSourceMemoryCharge + 2 * 4 * kMiB);
+
+  adm.on_complete(1);
+  EXPECT_FALSE(adm.is_running(1));
+  EXPECT_EQ(adm.tenant_slots_in_use("alpha"), 0u);
+  EXPECT_EQ(adm.tenant_memory_in_use("alpha"), 0u);
+}
+
+TEST(Admission, UnknownTenantIsRejectedPermanently) {
+  AdmissionController adm = small_fleet();
+  adm.add_tenant(tenant("alpha", 0));
+  const SubmitOutcome out = adm.submit(1, "nobody", demand());
+  EXPECT_FALSE(out.accepted);
+  EXPECT_EQ(out.reason, AdmitReject::kUnknownTenant);
+  EXPECT_EQ(out.retry_after_ms, 0u);
+}
+
+TEST(Admission, NeverAdmittableDemandIsRejectedNotQueued) {
+  AdmissionController adm = small_fleet(16, /*node_capacity=*/8 * kMiB);
+  adm.add_tenant(tenant("alpha", 0, /*max_slots=*/2, /*max_memory=*/16 * kMiB));
+
+  // More slots than the tenant could ever hold.
+  SubmitOutcome out = adm.submit(1, "alpha", demand(2, 2));
+  EXPECT_FALSE(out.accepted);
+  EXPECT_EQ(out.reason, AdmitReject::kNeverAdmittable);
+  EXPECT_EQ(out.retry_after_ms, 0u);
+
+  // More total memory than the tenant budget allows, even on an idle fleet.
+  out = adm.submit(2, "alpha", demand(1, 1, /*join_mem=*/32 * kMiB));
+  EXPECT_FALSE(out.accepted);
+  EXPECT_EQ(out.reason, AdmitReject::kNeverAdmittable);
+
+  // A single join bigger than one node's capacity can never be placed.
+  out = adm.submit(3, "alpha", demand(1, 1, /*join_mem=*/9 * kMiB));
+  EXPECT_FALSE(out.accepted);
+  EXPECT_EQ(out.reason, AdmitReject::kNeverAdmittable);
+
+  EXPECT_EQ(adm.queued_count(), 0u);
+}
+
+TEST(Admission, QueueFullBouncesWithRetryHint) {
+  AdmissionController adm = small_fleet(/*max_queue=*/2);
+  adm.add_tenant(tenant("alpha", 0));
+  EXPECT_TRUE(adm.submit(1, "alpha", demand()).accepted);
+  EXPECT_TRUE(adm.submit(2, "alpha", demand()).accepted);
+  const SubmitOutcome out = adm.submit(3, "alpha", demand());
+  EXPECT_FALSE(out.accepted);
+  EXPECT_EQ(out.reason, AdmitReject::kQueueFull);
+  EXPECT_GT(out.retry_after_ms, 0u);
+}
+
+TEST(Admission, PriorityDescendingFifoWithin) {
+  AdmissionController adm = small_fleet();
+  adm.add_tenant(tenant("low", 0));
+  adm.add_tenant(tenant("high", 5));
+  EXPECT_TRUE(adm.submit(1, "low", demand()).accepted);
+  EXPECT_TRUE(adm.submit(2, "high", demand()).accepted);
+  EXPECT_TRUE(adm.submit(3, "high", demand()).accepted);
+  EXPECT_TRUE(adm.submit(4, "low", demand()).accepted);
+
+  // High-priority queries first, FIFO within each priority band.
+  std::vector<QueryId> order;
+  while (const auto a = adm.take_ready()) order.push_back(a->id);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[3], 4u);
+}
+
+TEST(Admission, SkipBlockedBackfillNeverStarvesOtherTenants) {
+  // greedy can hold 2 slots; modest has plenty of headroom.
+  AdmissionController adm = small_fleet();
+  adm.add_tenant(tenant("greedy", /*priority=*/9, /*max_slots=*/2));
+  adm.add_tenant(tenant("modest", /*priority=*/0));
+
+  EXPECT_TRUE(adm.submit(1, "greedy", demand(1, 1)).accepted);  // 2 slots
+  EXPECT_TRUE(adm.submit(2, "greedy", demand(1, 1)).accepted);  // over budget
+  EXPECT_TRUE(adm.submit(3, "modest", demand(1, 1)).accepted);
+
+  auto a = adm.take_ready();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->id, 1u);
+
+  // greedy's second query is budget-blocked; it must not block modest even
+  // though greedy outranks it.
+  a = adm.take_ready();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->id, 3u);
+  EXPECT_FALSE(adm.take_ready().has_value());
+  EXPECT_EQ(adm.queue_position(2).value_or(0), 1u);
+
+  // greedy's own completion -- not anyone else's -- unblocks it.
+  adm.on_complete(1);
+  a = adm.take_ready();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->id, 2u);
+}
+
+TEST(Admission, TenantMemoryBudgetBlocksUntilCompletion) {
+  AdmissionController adm =
+      small_fleet(16, /*node_capacity=*/64 * kMiB, /*nodes=*/4);
+  adm.add_tenant(tenant("alpha", 0, /*max_slots=*/32,
+                        /*max_memory=*/20 * kMiB));
+
+  // 1 source (1 MiB) + 1 join (16 MiB) = 17 MiB: fits once, not twice.
+  EXPECT_TRUE(adm.submit(1, "alpha", demand(1, 1, 16 * kMiB)).accepted);
+  EXPECT_TRUE(adm.submit(2, "alpha", demand(1, 1, 16 * kMiB)).accepted);
+  ASSERT_TRUE(adm.take_ready().has_value());
+  EXPECT_FALSE(adm.take_ready().has_value());
+
+  adm.on_complete(1);
+  const auto a = adm.take_ready();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->id, 2u);
+}
+
+TEST(Admission, PlacementSpreadsAcrossFreestNodes) {
+  AdmissionController adm =
+      small_fleet(16, /*node_capacity=*/64 * kMiB, /*nodes=*/3);
+  adm.add_tenant(tenant("alpha", 0, /*max_slots=*/16, 512 * kMiB));
+  EXPECT_TRUE(adm.submit(1, "alpha", demand(1, 3, 16 * kMiB)).accepted);
+  const auto a = adm.take_ready();
+  ASSERT_TRUE(a.has_value());
+  // Three equal joins over three empty equal nodes: one each.
+  std::vector<NodeId> nodes = a->placement.join_nodes;
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(nodes, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(adm.fleet_free_bytes(),
+            3 * 64 * kMiB - 3 * 16 * kMiB - kSourceMemoryCharge);
+}
+
+TEST(Admission, ExpansionGrantChargesAndDeniesAtBudget) {
+  AdmissionController adm = small_fleet();
+  adm.add_tenant(tenant("alpha", 0, /*max_slots=*/3));
+  EXPECT_TRUE(adm.submit(1, "alpha", demand(1, 1, 4 * kMiB)).accepted);
+  ASSERT_TRUE(adm.take_ready().has_value());
+  EXPECT_EQ(adm.tenant_slots_in_use("alpha"), 2u);
+
+  const std::uint64_t free_before = adm.fleet_free_bytes();
+  const auto node = adm.grant_expansion(1);
+  ASSERT_TRUE(node.has_value());
+  EXPECT_EQ(adm.tenant_slots_in_use("alpha"), 3u);
+  EXPECT_EQ(adm.fleet_free_bytes(), free_before - 4 * kMiB);
+
+  // At the slot budget: deny, and the denial changes nothing.
+  EXPECT_FALSE(adm.grant_expansion(1).has_value());
+  EXPECT_EQ(adm.tenant_slots_in_use("alpha"), 3u);
+
+  // Early release refunds; completion releases the rest.
+  adm.release_expansion(1, *node);
+  EXPECT_EQ(adm.tenant_slots_in_use("alpha"), 2u);
+  EXPECT_EQ(adm.fleet_free_bytes(), free_before);
+  adm.on_complete(1);
+  EXPECT_EQ(adm.tenant_slots_in_use("alpha"), 0u);
+  EXPECT_EQ(adm.fleet_free_bytes(), 4 * 64 * kMiB);
+}
+
+TEST(Admission, CompletionReleasesUnreturnedExpansions) {
+  AdmissionController adm = small_fleet();
+  adm.add_tenant(tenant("alpha", 0, /*max_slots=*/8));
+  EXPECT_TRUE(adm.submit(1, "alpha", demand()).accepted);
+  ASSERT_TRUE(adm.take_ready().has_value());
+  ASSERT_TRUE(adm.grant_expansion(1).has_value());
+  ASSERT_TRUE(adm.grant_expansion(1).has_value());
+  adm.on_complete(1);  // never individually released
+  EXPECT_EQ(adm.tenant_slots_in_use("alpha"), 0u);
+  EXPECT_EQ(adm.tenant_memory_in_use("alpha"), 0u);
+  EXPECT_EQ(adm.fleet_free_bytes(), 4 * 64 * kMiB);
+}
+
+TEST(Admission, CancelQueuedOnlyAffectsWaitingQueries) {
+  AdmissionController adm = small_fleet();
+  adm.add_tenant(tenant("alpha", 0));
+  EXPECT_TRUE(adm.submit(1, "alpha", demand()).accepted);
+  EXPECT_TRUE(adm.submit(2, "alpha", demand()).accepted);
+  EXPECT_TRUE(adm.cancel_queued(2));
+  EXPECT_FALSE(adm.cancel_queued(2));  // already gone
+  ASSERT_TRUE(adm.take_ready().has_value());
+  EXPECT_FALSE(adm.cancel_queued(1));  // running, not queued
+  EXPECT_FALSE(adm.take_ready().has_value());
+}
+
+TEST(Admission, DrainRejectsNewSubmissionsOnly) {
+  AdmissionController adm = small_fleet();
+  adm.add_tenant(tenant("alpha", 0));
+  EXPECT_TRUE(adm.submit(1, "alpha", demand()).accepted);
+  adm.begin_drain();
+  EXPECT_TRUE(adm.draining());
+  const SubmitOutcome out = adm.submit(2, "alpha", demand());
+  EXPECT_FALSE(out.accepted);
+  EXPECT_EQ(out.reason, AdmitReject::kDraining);
+  // The queued query is untouched; the server decides its fate.
+  EXPECT_EQ(adm.queued_count(), 1u);
+  ASSERT_TRUE(adm.take_ready().has_value());
+}
+
+TEST(Admission, QueuePositionTracksReorderingAndAdmission) {
+  AdmissionController adm = small_fleet();
+  adm.add_tenant(tenant("low", 0));
+  adm.add_tenant(tenant("high", 3));
+  EXPECT_EQ(adm.submit(1, "low", demand()).queue_position, 1u);
+  // A higher-priority arrival jumps the line.
+  EXPECT_EQ(adm.submit(2, "high", demand()).queue_position, 1u);
+  EXPECT_EQ(adm.queue_position(1).value_or(0), 2u);
+  ASSERT_TRUE(adm.take_ready().has_value());
+  EXPECT_EQ(adm.queue_position(1).value_or(0), 1u);
+  EXPECT_FALSE(adm.queue_position(2).has_value());  // running now
+}
+
+}  // namespace
+}  // namespace ehja::serve

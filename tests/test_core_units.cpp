@@ -39,6 +39,97 @@ TEST(ConfigTest, MakeClusterAppliesKnobs) {
   EXPECT_DOUBLE_EQ(spec.disk.seek_sec, 0.5);
 }
 
+// validate_or_error() is the gate behind every tool's flag parsing (and the
+// serve layer's screening of client-submitted configs): nonsensical knob
+// combinations must come back as a described error, not surface later as
+// undefined runtime behaviour.
+TEST(ConfigTest, ValidateRejectsNonsensicalKnobs) {
+  const auto error_of = [](const EhjaConfig& c) {
+    const auto err = c.validate_or_error();
+    return err.value_or("");
+  };
+
+  EhjaConfig ok;
+  EXPECT_FALSE(ok.validate_or_error().has_value());
+
+  EhjaConfig c = ok;
+  c.initial_join_nodes = 0;
+  EXPECT_NE(error_of(c).find(">= 1"), std::string::npos);
+
+  c = ok;
+  c.initial_join_nodes = c.join_pool_nodes + 1;
+  EXPECT_NE(error_of(c).find("exceed the pool"), std::string::npos);
+
+  c = ok;
+  c.data_sources = 0;
+  EXPECT_NE(error_of(c).find("data sources"), std::string::npos);
+
+  c = ok;
+  c.chunk_tuples = 0;
+  EXPECT_NE(error_of(c).find("chunk"), std::string::npos);
+
+  c = ok;
+  c.node_hash_memory_bytes = 1;  // smaller than one tuple footprint
+  EXPECT_NE(error_of(c).find("hash memory"), std::string::npos);
+
+  c = ok;
+  c.reshuffle_bins = c.join_pool_nodes - 1;
+  EXPECT_NE(error_of(c).find("bins"), std::string::npos);
+}
+
+TEST(ConfigTest, ValidateRejectsBadPhiDetectorKnobs) {
+  EhjaConfig ok;
+  ok.ft.detector = DetectorKind::kPhiAccrual;
+  EXPECT_FALSE(ok.validate_or_error().has_value());
+
+  // The phi knobs are screened whenever the phi detector is *selected*,
+  // even without an armed fault plan: --detector=phi --phi-window=0 must be
+  // a usage error up front.
+  EhjaConfig c = ok;
+  c.ft.phi_window = 0;
+  ASSERT_TRUE(c.validate_or_error().has_value());
+  EXPECT_NE(c.validate_or_error()->find("window"), std::string::npos);
+
+  c = ok;
+  c.ft.phi_threshold = 0.0;
+  ASSERT_TRUE(c.validate_or_error().has_value());
+  EXPECT_NE(c.validate_or_error()->find("threshold"), std::string::npos);
+
+  c = ok;
+  c.ft.phi_threshold = -3.0;
+  EXPECT_TRUE(c.validate_or_error().has_value());
+
+  // The same bad knobs with the default detector are fine: unused knobs
+  // are not screened.
+  c = ok;
+  c.ft.detector = DetectorKind::kTimeout;
+  c.ft.phi_window = 0;
+  c.ft.phi_threshold = -1.0;
+  EXPECT_FALSE(c.validate_or_error().has_value());
+}
+
+TEST(ConfigTest, ValidateRejectsInconsistentFaultTolerance) {
+  EhjaConfig c;
+  c.ft.force_enabled = true;
+  c.ft.heartbeat_interval_sec = 0.0;
+  ASSERT_TRUE(c.validate_or_error().has_value());
+  EXPECT_NE(c.validate_or_error()->find("heartbeat interval"),
+            std::string::npos);
+
+  c = EhjaConfig{};
+  c.ft.force_enabled = true;
+  c.ft.heartbeat_timeout_sec = c.ft.heartbeat_interval_sec;  // must exceed
+  ASSERT_TRUE(c.validate_or_error().has_value());
+  EXPECT_NE(c.validate_or_error()->find("timeout"), std::string::npos);
+
+  // A standby scheduler alone is fine: it *implies* the recovery machinery
+  // (heartbeats must flow for the standby's own detector to behave).
+  c = EhjaConfig{};
+  c.ft.standby_scheduler = true;
+  EXPECT_FALSE(c.validate_or_error().has_value());
+  EXPECT_TRUE(c.recovery_enabled());
+}
+
 TEST(ConfigTest, ToStringMentionsAlgorithmAndSizes) {
   EhjaConfig config;
   config.algorithm = Algorithm::kSplit;

@@ -654,6 +654,71 @@ TEST(WireFrames, CorruptionIsDetected) {
   }
 }
 
+// --- forward compatibility ---
+//
+// A frame from a *newer* build (higher wire version, or a FrameKind this
+// build has never heard of) must be a clean, described decode error -- the
+// serve layer turns it into a kQueryRejected farewell -- never an abort.
+// The header is not covered by the CRC, so these edits isolate exactly the
+// version/kind checks.
+
+TEST(WireFrames, NewerVersionIsDescribedDecodeError) {
+  std::vector<std::uint8_t> stream;
+  wire::append_frame(stream, wire::FrameKind::kReady, {});
+  std::size_t consumed = 0;
+  wire::Frame f;
+  std::string err;
+
+  {  // one version ahead: "newer", so the peer can say so in its reject
+    auto bad = stream;
+    bad[4] = wire::kWireVersion + 1;
+    ASSERT_EQ(wire::try_parse_frame(bad.data(), bad.size(), consumed, f, &err),
+              wire::FrameStatus::kError);
+    EXPECT_NE(err.find("newer"), std::string::npos) << err;
+  }
+  {  // one version behind: a plain mismatch, not "newer"
+    ASSERT_GE(wire::kWireVersion, 2);
+    auto bad = stream;
+    bad[4] = wire::kWireVersion - 1;
+    err.clear();
+    ASSERT_EQ(wire::try_parse_frame(bad.data(), bad.size(), consumed, f, &err),
+              wire::FrameStatus::kError);
+    EXPECT_EQ(err.find("newer"), std::string::npos) << err;
+    EXPECT_NE(err.find("mismatch"), std::string::npos) << err;
+  }
+}
+
+TEST(WireFrames, UnknownFutureFrameKindIsDecodeError) {
+  std::vector<std::uint8_t> stream;
+  wire::append_frame(stream, wire::FrameKind::kReady, {});
+  std::size_t consumed = 0;
+  wire::Frame f;
+  std::string err;
+  for (const std::uint8_t kind :
+       {static_cast<std::uint8_t>(wire::kMaxFrameKind + 1),
+        static_cast<std::uint8_t>(200)}) {
+    auto bad = stream;
+    bad[5] = kind;
+    EXPECT_EQ(wire::try_parse_frame(bad.data(), bad.size(), consumed, f, &err),
+              wire::FrameStatus::kError)
+        << "future kind " << int(kind) << " parsed";
+  }
+  // Every kind this build *does* define still parses (0 is below kHello).
+  {
+    auto bad = stream;
+    bad[5] = 0;
+    EXPECT_EQ(wire::try_parse_frame(bad.data(), bad.size(), consumed, f, &err),
+              wire::FrameStatus::kError);
+  }
+  for (std::uint8_t kind = 1; kind <= wire::kMaxFrameKind; ++kind) {
+    auto ok = stream;
+    ok[5] = kind;
+    EXPECT_EQ(wire::try_parse_frame(ok.data(), ok.size(), consumed, f, &err),
+              wire::FrameStatus::kFrame)
+        << "known kind " << int(kind) << " rejected";
+  }
+}
+
 // --- fuzz loop ---
 //
 // Deterministic seed so failures reproduce.  The assertion is the totality

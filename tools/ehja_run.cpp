@@ -28,6 +28,7 @@
 //                               (default 5)
 //     --detector=timeout|phi    failure-detector flavour      (default timeout)
 //     --phi-threshold=X         phi-accrual suspicion threshold (default 8)
+//     --phi-window=N            phi inter-arrival sample window (default 32)
 //     --standby                 run a standby scheduler (required to survive
 //                               scheduler kills)
 //     --topology=switched|bus
@@ -227,6 +228,12 @@ int main(int argc, char** argv) {
       if (config.ft.phi_threshold <= 0.0) {
         usage_error("--phi-threshold must be > 0");
       }
+    } else if (match_flag(argv[i], "--phi-window", &value)) {
+      const long window = std::atol(value.c_str());
+      if (window < 1) {
+        usage_error("--phi-window must be >= 1 sample");
+      }
+      config.ft.phi_window = static_cast<std::uint32_t>(window);
     } else if (match_flag(argv[i], "--standby", &value)) {
       config.ft.standby_scheduler = true;
     } else if (match_flag(argv[i], "--topology", &value)) {
@@ -250,6 +257,18 @@ int main(int argc, char** argv) {
     } else {
       usage_error(std::string("unknown option ") + argv[i]);
     }
+  }
+
+  // Reject nonsense before any process is forked or memory reserved: the
+  // same checks EhjaConfig::validate() would abort on, surfaced as a usage
+  // error instead.
+  if (runtime == RuntimeKind::kSocket && config.join_pool_nodes == 0) {
+    usage_error(
+        "--runtime=socket needs at least one worker process (--workers/--pool"
+        " >= 1)");
+  }
+  if (const auto err = config.validate_or_error()) {
+    usage_error(*err);
   }
 
   if (auto_algorithm) {

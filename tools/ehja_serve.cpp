@@ -1,0 +1,146 @@
+// ehja_serve -- long-lived multi-tenant join service (serve/server.hpp).
+//
+//   ehja_serve [options]
+//     --port=N              client-facing TCP port      (default 0: ephemeral,
+//                           printed on stdout as "listening on port N")
+//     --fleet-workers=N     warm worker processes       (default 4, min 2)
+//     --worker-memory-mib=N per-worker memory budget    (default 256)
+//     --max-queue=N         admission queue bound       (default 64)
+//     --drain-deadline=SEC  shutdown drain deadline     (default 30)
+//     --tenant=NAME:PRIORITY:MAX_SLOTS:MAX_MEMORY_MIB   (repeatable; at least
+//                           one required; e.g. --tenant=alpha:1:8:512)
+//     --quiet / --verbose   log level
+//
+// SIGTERM / SIGINT begin a graceful drain: no new queries are admitted, the
+// queued backlog is bounced with kDraining, in-flight queries finish (up to
+// the deadline), then the process exits 0.
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runtime/socket_runtime.hpp"
+#include "serve/server.hpp"
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace ehja;
+
+std::atomic<bool> g_shutdown{false};
+
+void on_signal(int /*sig*/) { g_shutdown.store(true); }
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr,
+               "ehja_serve: %s (see the header of tools/ehja_serve.cpp)\n",
+               message.c_str());
+  std::exit(2);
+}
+
+bool match_flag(const char* arg, const char* name, std::string* value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+// "NAME:PRIORITY:MAX_SLOTS:MAX_MEMORY_MIB"
+serve::TenantSpec parse_tenant(const std::string& spec) {
+  serve::TenantSpec tenant;
+  std::size_t start = 0;
+  std::vector<std::string> parts;
+  while (true) {
+    const std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.size() != 4 || parts[0].empty()) {
+    usage_error("--tenant needs NAME:PRIORITY:MAX_SLOTS:MAX_MEMORY_MIB");
+  }
+  tenant.name = parts[0];
+  tenant.priority = static_cast<std::uint32_t>(std::atoi(parts[1].c_str()));
+  tenant.max_slots = static_cast<std::uint32_t>(std::atoi(parts[2].c_str()));
+  tenant.max_memory_bytes =
+      std::strtoull(parts[3].c_str(), nullptr, 10) * kMiB;
+  if (tenant.max_slots == 0) usage_error("--tenant MAX_SLOTS must be >= 1");
+  if (tenant.max_memory_bytes == 0) {
+    usage_error("--tenant MAX_MEMORY_MIB must be >= 1");
+  }
+  return tenant;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The fleet's worker processes are re-executions of this binary.
+  if (const auto worker_exit = maybe_run_socket_worker(argc, argv)) {
+    return *worker_exit;
+  }
+
+  serve::ServeOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (match_flag(argv[i], "--port", &value)) {
+      opts.requested_port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
+    } else if (match_flag(argv[i], "--fleet-workers", &value)) {
+      opts.fleet_workers = static_cast<std::uint32_t>(std::atoi(value.c_str()));
+      if (opts.fleet_workers < 2) usage_error("--fleet-workers must be >= 2");
+    } else if (match_flag(argv[i], "--worker-memory-mib", &value)) {
+      opts.worker_memory_bytes =
+          std::strtoull(value.c_str(), nullptr, 10) * kMiB;
+      if (opts.worker_memory_bytes == 0) {
+        usage_error("--worker-memory-mib must be >= 1");
+      }
+    } else if (match_flag(argv[i], "--max-queue", &value)) {
+      opts.max_queue = static_cast<std::size_t>(std::atoi(value.c_str()));
+      if (opts.max_queue == 0) usage_error("--max-queue must be >= 1");
+    } else if (match_flag(argv[i], "--drain-deadline", &value)) {
+      opts.drain_deadline_sec = std::atof(value.c_str());
+      if (opts.drain_deadline_sec <= 0.0) {
+        usage_error("--drain-deadline must be > 0");
+      }
+    } else if (match_flag(argv[i], "--tenant", &value)) {
+      opts.tenants.push_back(parse_tenant(value));
+    } else if (match_flag(argv[i], "--quiet", &value)) {
+      set_log_level(LogLevel::kError);
+    } else if (match_flag(argv[i], "--verbose", &value)) {
+      set_log_level(LogLevel::kInfo);
+    } else {
+      usage_error(std::string("unknown option ") + argv[i]);
+    }
+  }
+  if (opts.tenants.empty()) {
+    usage_error("at least one --tenant is required");
+  }
+
+  ::signal(SIGTERM, on_signal);
+  ::signal(SIGINT, on_signal);
+
+  serve::JoinService service(std::move(opts));
+  service.set_shutdown_flag(&g_shutdown);
+  std::printf("listening on port %u\n", service.port());
+  std::fflush(stdout);
+
+  service.run();
+
+  std::printf("drained: %llu queries completed, %llu rejected\n",
+              static_cast<unsigned long long>(service.queries_completed()),
+              static_cast<unsigned long long>(service.queries_rejected()));
+  return 0;
+}
