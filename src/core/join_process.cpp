@@ -139,7 +139,8 @@ void JoinProcessActor::handle_init(const JoinInitPayload& init) {
                      static_cast<std::uint64_t>(id()) + 1,
                      SpillPolicy::kEvictAll);
   } else {
-    table_.emplace(config_->build_rel.schema, range_);
+    table_.emplace(config_->build_rel.schema, range_, config_->intra_threads,
+                   config_->intra_mode);
   }
   EHJA_DEBUG(name(), "init role=", static_cast<int>(init.role), " range=[",
              range_.lo, ",", range_.hi, ")");

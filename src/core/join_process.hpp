@@ -41,7 +41,7 @@
 
 #include "core/config.hpp"
 #include "core/messages.hpp"
-#include "hash/local_hash_table.hpp"
+#include "core/node_table.hpp"
 #include "join/grace_join.hpp"
 #include "runtime/actor.hpp"
 #include "storage/sim_disk.hpp"
@@ -106,7 +106,9 @@ class JoinProcessActor final : public Actor {
 
   JoinRole role_ = JoinRole::kInitial;
   PosRange range_;
-  std::optional<LocalHashTable> table_;
+  /// Partition table; scalar at intra_threads == 1, intra-node parallel
+  /// otherwise (core/node_table.hpp).
+  std::optional<NodeTable> table_;
   std::optional<HybridHashSpiller> spiller_;
 
   bool frozen_ = false;

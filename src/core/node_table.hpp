@@ -1,0 +1,148 @@
+// NodeTable: the join process's partition table with optional intra-node
+// parallelism.
+//
+// A thin dispatcher in front of the two table implementations.  With
+// intra_threads == 1 it holds the scalar LocalHashTable -- the historical
+// single-threaded path, byte for byte, with zero added indirection on the
+// hot loops.  With intra_threads > 1 it holds a ConcurrentKeyIndex plus an
+// IntraPool and fans insert_batch / probe_batch out across the pool's lanes
+// (DESIGN.md §11), in the build discipline picked by IntraMode.
+//
+// Determinism contract: probe results are per-lane BatchProbeResults summed
+// in lane order; since every field is a commutative sum over rows, the
+// aggregate equals the serial result exactly -- sim, thread and socket runs
+// stay byte-identical to the serial oracle at any thread count.  Everything
+// outside the two fan-out calls (extract_range, set_range, histogram,
+// clear, scalar insert/probe) stays serial: those run in actor context with
+// no parallel region in flight, which is precisely what lets the concurrent
+// table do its capacity growth and index rebuilds with plain bookkeeping.
+//
+// Small batches skip the fan-out entirely (kMinRowsPerLane): waking the
+// pool for a few hundred rows costs more than the rows do, and the tail
+// chunks of a drain are exactly that shape.
+//
+// Lives in core/ (not hash/) because it composes hash/ with runtime/ --
+// ehja_hash must stay linkable without the runtime layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hash/concurrent_key_index.hpp"
+#include "hash/intra_mode.hpp"
+#include "hash/local_hash_table.hpp"
+#include "runtime/intra_pool.hpp"
+
+namespace ehja {
+
+class NodeTable {
+ public:
+  using ProbeResult = LocalHashTable::ProbeResult;
+  using BatchProbeResult = LocalHashTable::BatchProbeResult;
+
+  /// Below this many rows per lane the fan-out is pure overhead and the
+  /// batch goes through the serial path of whichever table is live.
+  static constexpr std::size_t kMinRowsPerLane = 256;
+
+  NodeTable(Schema schema, PosRange range, std::uint32_t intra_threads,
+            IntraMode intra_mode)
+      : mode_(intra_mode) {
+    if (intra_threads <= 1) {
+      scalar_.emplace(schema, range);
+    } else {
+      par_.emplace(schema, range);
+      pool_.emplace(intra_threads);
+    }
+  }
+
+  const PosRange& range() const {
+    return scalar_ ? scalar_->range() : par_->range();
+  }
+  const Schema& schema() const {
+    return scalar_ ? scalar_->schema() : par_->schema();
+  }
+  std::uint64_t tuple_count() const {
+    return scalar_ ? scalar_->tuple_count() : par_->tuple_count();
+  }
+  std::uint64_t footprint_bytes() const {
+    return scalar_ ? scalar_->footprint_bytes() : par_->footprint_bytes();
+  }
+  bool empty() const { return tuple_count() == 0; }
+
+  void insert(const Tuple& t) {
+    scalar_ ? scalar_->insert(t) : par_->insert(t);
+  }
+
+  void insert_batch(const TupleBatch& batch) {
+    if (scalar_) {
+      scalar_->insert_batch(batch);
+      return;
+    }
+    const std::size_t n = batch.size();
+    const unsigned lanes = pool_->threads();
+    if (n < kMinRowsPerLane * lanes) {
+      par_->insert_batch(batch);
+      return;
+    }
+    if (mode_ == IntraMode::kMerge) {
+      par_->begin_merge(batch, lanes);
+      pool_->run([&](unsigned t) { par_->scatter_rows(batch, t, lanes); });
+      pool_->run([&](unsigned t) { par_->merge_subrange(batch, t, lanes); });
+      par_->finish_merge(batch);
+    } else {
+      par_->reserve_rows(n);
+      pool_->run([&](unsigned t) {
+        const auto [begin, end] = IntraPool::slice(n, lanes, t);
+        par_->insert_rows(batch, begin, end);
+      });
+    }
+  }
+
+  ProbeResult probe(const Tuple& s) {
+    return scalar_ ? scalar_->probe(s) : par_->probe(s);
+  }
+
+  BatchProbeResult probe_batch(const TupleBatch& batch) {
+    if (scalar_) return scalar_->probe_batch(batch);
+    const std::size_t n = batch.size();
+    const unsigned lanes = pool_->threads();
+    if (n < kMinRowsPerLane * lanes) return par_->probe_batch(batch);
+    if (!par_->empty()) par_->ensure_index();
+    std::vector<BatchProbeResult> per_lane(lanes);
+    pool_->run([&](unsigned t) {
+      const auto [begin, end] = IntraPool::slice(n, lanes, t);
+      per_lane[t] = par_->probe_rows(batch, begin, end);
+    });
+    BatchProbeResult agg;
+    for (const BatchProbeResult& r : per_lane) {
+      agg.probed += r.probed;
+      agg.matches += r.matches;
+      agg.comparisons += r.comparisons;
+      agg.checksum_delta += r.checksum_delta;
+    }
+    return agg;
+  }
+
+  std::vector<Tuple> extract_range(const PosRange& sub) {
+    return scalar_ ? scalar_->extract_range(sub) : par_->extract_range(sub);
+  }
+
+  void set_range(const PosRange& next) {
+    scalar_ ? scalar_->set_range(next) : par_->set_range(next);
+  }
+
+  BinnedHistogram histogram(std::size_t bins) const {
+    return scalar_ ? scalar_->histogram(bins) : par_->histogram(bins);
+  }
+
+  void clear() { scalar_ ? scalar_->clear() : par_->clear(); }
+
+ private:
+  IntraMode mode_;
+  std::optional<LocalHashTable> scalar_;
+  std::optional<ConcurrentKeyIndex> par_;
+  std::optional<IntraPool> pool_;
+};
+
+}  // namespace ehja

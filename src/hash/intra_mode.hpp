@@ -1,0 +1,35 @@
+// Intra-node build discipline for the concurrent hash table.
+//
+// Lives in its own tiny header so that core/config.hpp (the knob) and
+// hash/concurrent_key_index.hpp (the implementation) can share the enum
+// without the config layer pulling the whole concurrent table -- and its
+// <atomic> machinery -- into every translation unit.
+#pragma once
+
+#include <cstdint>
+
+namespace ehja {
+
+/// How worker threads inside one join process cooperate on the shared
+/// per-partition hash table (DESIGN.md §11).
+///
+///   kShared: every thread CAS-pushes directly into the shared chain heads
+///            (lock-free, zero extra passes).  Per-position chain order is
+///            whatever the interleaving produced -- join *results* are
+///            unaffected (matches/checksums are commutative sums) but
+///            extract_range emission order varies run to run.
+///
+///   kMerge:  per-thread-build-then-merge.  Threads first partition their
+///            batch slice by position sub-range into private scratch, then
+///            each thread exclusively merges one contiguous sub-range into
+///            the shared chains -- no atomics on the hot store, and the
+///            final chain linkage is bit-identical to the serial insert
+///            order at every thread count.
+enum class IntraMode : std::uint8_t {
+  kShared = 0,
+  kMerge = 1,
+};
+
+const char* intra_mode_name(IntraMode mode);
+
+}  // namespace ehja

@@ -1383,6 +1383,8 @@ void encode_config(const EhjaConfig& config, Writer& w) {
   w.f64(config.ft.phi_threshold);
   w.varint(config.ft.phi_window);
   w.u8(config.ft.standby_scheduler ? 1 : 0);
+  w.varint(config.intra_threads);
+  w.u8(static_cast<std::uint8_t>(config.intra_mode));
 }
 
 bool decode_config(Reader& r, EhjaConfig& config) {
@@ -1429,7 +1431,9 @@ bool decode_config(Reader& r, EhjaConfig& config) {
   if (!read_enum(r, config.ft.detector, 1)) return false;
   config.ft.phi_threshold = r.f64();
   if (!read_u32(r, config.ft.phi_window)) return false;
-  return read_bool(r, config.ft.standby_scheduler);
+  if (!read_bool(r, config.ft.standby_scheduler)) return false;
+  if (!read_u32(r, config.intra_threads)) return false;
+  return read_enum(r, config.intra_mode, 1);
 }
 
 // --- frame layer ---

@@ -53,7 +53,9 @@ namespace ehja::wire {
 /// frame kinds (submit/accept/reject/result/status/cancel), per-query
 /// config shipping (kQueryConfig) and actor retirement (kRetire) on the
 /// fleet links.
-inline constexpr std::uint8_t kWireVersion = 4;
+/// v5: intra-node parallelism knobs (intra_threads, intra_mode) in the
+/// config handshake.
+inline constexpr std::uint8_t kWireVersion = 5;
 
 /// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) over `size` bytes.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);

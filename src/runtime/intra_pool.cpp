@@ -1,0 +1,57 @@
+#include "runtime/intra_pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace ehja {
+
+IntraPool::IntraPool(unsigned threads) : threads_(threads) {
+  EHJA_CHECK_MSG(threads >= 1, "IntraPool needs at least one lane");
+  workers_.reserve(threads - 1);
+  for (unsigned lane = 1; lane < threads; ++lane) {
+    workers_.emplace_back(&IntraPool::worker_main, this, lane);
+  }
+}
+
+IntraPool::~IntraPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void IntraPool::worker_main(unsigned lane) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::function<void(unsigned)>* job = job_;
+    lock.unlock();
+    (*job)(lane);
+    lock.lock();
+    if (++done_ == threads_ - 1) done_cv_.notify_one();
+  }
+}
+
+void IntraPool::run(const std::function<void(unsigned)>& body) {
+  if (threads_ == 1) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &body;
+    done_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  body(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_ == threads_ - 1; });
+  job_ = nullptr;
+}
+
+}  // namespace ehja

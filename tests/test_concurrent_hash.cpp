@@ -1,0 +1,422 @@
+// Concurrent hash table and intra-node pool tests.
+//
+// Three layers of assurance for the first truly concurrent hot path inside
+// a join process (DESIGN.md §11):
+//
+//   * IntraPool unit tests -- every lane runs, generations reuse the same
+//     workers, a 1-lane pool degenerates to a plain call;
+//   * differential fuzz -- NodeTable at 1..8 lanes, shared and merge
+//     disciplines, against the scalar LocalHashTable oracle across uniform,
+//     small-domain and zipf-skewed key distributions, interleaving inserts,
+//     probes and range extraction;
+//   * raw stress -- concurrent insert_rows, concurrent probe_rows,
+//     insert-while-probe and a merge-protocol hammer driven by bare
+//     std::threads so TSan sees the unwrapped access pattern.
+//
+// The stress tests are sized to finish quickly under TSan's ~10x slowdown;
+// CI's tsan job runs this binary on every PR.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/node_table.hpp"
+#include "hash/concurrent_key_index.hpp"
+#include "hash/local_hash_table.hpp"
+#include "runtime/intra_pool.hpp"
+#include "util/rng.hpp"
+
+namespace ehja {
+namespace {
+
+// --------------------------------------------------------------- IntraPool
+
+TEST(IntraPoolTest, SingleLaneRunsInline) {
+  IntraPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  unsigned ran = 0;
+  pool.run([&](unsigned t) {
+    EXPECT_EQ(t, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1u);
+}
+
+TEST(IntraPoolTest, EveryLaneRunsOncePerGeneration) {
+  IntraPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::atomic<int>> hits(4);
+    pool.run([&](unsigned t) { hits[t].fetch_add(1); });
+    for (unsigned t = 0; t < 4; ++t) EXPECT_EQ(hits[t].load(), 1);
+  }
+}
+
+TEST(IntraPoolTest, RunIsABarrier) {
+  IntraPool pool(4);
+  // Writes from one region must be visible to the next with plain reads --
+  // the property NodeTable's serial bookkeeping depends on.
+  std::vector<int> data(4, 0);
+  pool.run([&](unsigned t) { data[t] = static_cast<int>(t) + 1; });
+  int sum = 0;
+  for (const int v : data) sum += v;
+  EXPECT_EQ(sum, 1 + 2 + 3 + 4);
+}
+
+TEST(IntraPoolTest, SlicesPartitionExactly) {
+  for (const std::size_t n : {0ul, 1ul, 7ul, 4096ul, 10001ul}) {
+    for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+      std::size_t covered = 0, prev_end = 0;
+      for (unsigned t = 0; t < threads; ++t) {
+        const auto [begin, end] = IntraPool::slice(n, threads, t);
+        EXPECT_EQ(begin, prev_end);
+        covered += end - begin;
+        prev_end = end;
+      }
+      EXPECT_EQ(prev_end, n);
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+// --------------------------------------------------------- workload shapes
+
+enum class Shape { kUniform, kSmallDomain, kZipf };
+
+/// Random batch in `range` shaped by `shape`: uniform positions with ~25%
+/// duplicated keys, a small closed key domain (every key collides), or a
+/// zipf-like concentration where most rows hit a handful of hot positions.
+TupleBatch shaped_batch(SplitMix64& rng, const PosRange& range,
+                        std::size_t rows, Shape shape) {
+  TupleBatch batch;
+  batch.reserve(rows);
+  constexpr std::uint64_t kLowMask = (1ull << (64 - kPositionBits)) - 1;
+  std::uint64_t last_key = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t key;
+    switch (shape) {
+      case Shape::kUniform: {
+        const std::uint64_t pos = range.lo + rng.next_u64() % range.width();
+        key = (pos << (64 - kPositionBits)) | (rng.next_u64() & kLowMask);
+        if (i > 0 && rng.next_u64() % 4 == 0) key = last_key;
+        break;
+      }
+      case Shape::kSmallDomain: {
+        // 64 distinct keys total: long same-key match lists everywhere.
+        const std::uint64_t k = rng.next_u64() % 64;
+        const std::uint64_t pos = range.lo + k % range.width();
+        key = (pos << (64 - kPositionBits)) | k;
+        break;
+      }
+      case Shape::kZipf: {
+        // Crude zipf: rank r with probability ~ 1/(r+1); a few positions
+        // soak up most rows, the tail stays wide.
+        std::uint64_t rank = 0;
+        while (rank < 30 && (rng.next_u64() & 1) == 0) ++rank;
+        const std::uint64_t pos =
+            range.lo + (rank * 97) % std::min<std::uint64_t>(range.width(),
+                                                             rank * 97 + 1);
+        key = (pos << (64 - kPositionBits)) | (rng.next_u64() & kLowMask);
+        if (i > 0 && rng.next_u64() % 3 == 0) key = last_key;
+        break;
+      }
+    }
+    last_key = key;
+    batch.append(rng.next_u64(), key);
+  }
+  return batch;
+}
+
+// ---------------------------------------------------- differential fuzzing
+
+/// NodeTable at `threads` lanes must reproduce the scalar oracle's results
+/// exactly: probe aggregates, counts, footprint, and (for extract) content.
+void run_differential(std::uint32_t threads, IntraMode mode, Shape shape,
+                      std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  const std::uint64_t lo = (rng.next_u64() % 8) * 500;
+  const std::uint64_t width = 64 + rng.next_u64() % 3000;
+  const PosRange range{lo, lo + width};
+  const Schema schema{100};
+  LocalHashTable oracle(schema, range);
+  NodeTable table(schema, range, threads, mode);
+
+  for (int step = 0; step < 8; ++step) {
+    const std::uint64_t op = rng.next_u64() % 4;
+    if (op <= 1) {
+      // NodeTable's fan-out only engages above kMinRowsPerLane * lanes;
+      // size some batches past that so the parallel path is really hit.
+      const std::size_t rows = (step % 2 == 0)
+                                   ? NodeTable::kMinRowsPerLane * threads + 512
+                                   : 1 + rng.next_u64() % 400;
+      const auto batch = shaped_batch(rng, range, rows, shape);
+      oracle.insert_batch(batch);
+      table.insert_batch(batch);
+    } else if (op == 2) {
+      const std::size_t rows = NodeTable::kMinRowsPerLane * threads + 256;
+      const auto batch = shaped_batch(rng, range, rows, shape);
+      const auto want = oracle.probe_batch(batch);
+      const auto got = table.probe_batch(batch);
+      EXPECT_EQ(got.probed, want.probed);
+      EXPECT_EQ(got.matches, want.matches);
+      EXPECT_EQ(got.comparisons, want.comparisons);
+      EXPECT_EQ(got.checksum_delta, want.checksum_delta);
+    } else {
+      const std::uint64_t a = lo + rng.next_u64() % width;
+      const std::uint64_t b = lo + rng.next_u64() % width;
+      const PosRange sub{std::min(a, b), std::max(a, b) + 1};
+      auto want = oracle.extract_range(sub);
+      auto got = table.extract_range(sub);
+      if (mode == IntraMode::kMerge || threads == 1) {
+        // Merge discipline reproduces the serial chain linkage bit for
+        // bit, so even the emission *order* matches.
+        EXPECT_EQ(got, want);
+      } else {
+        // Shared CAS order is scheduling-dependent; the multiset of
+        // extracted tuples must still match exactly.
+        const auto by_id = [](const Tuple& x, const Tuple& y) {
+          return x.id < y.id || (x.id == y.id && x.key < y.key);
+        };
+        std::sort(want.begin(), want.end(), by_id);
+        std::sort(got.begin(), got.end(), by_id);
+        EXPECT_EQ(got, want);
+      }
+    }
+    EXPECT_EQ(table.tuple_count(), oracle.tuple_count());
+    EXPECT_EQ(table.footprint_bytes(), oracle.footprint_bytes());
+  }
+}
+
+TEST(ConcurrentDifferentialFuzz, SharedMatchesOracle) {
+  std::uint64_t seed = 100;
+  for (const std::uint32_t threads : {1u, 2u, 3u, 4u, 8u}) {
+    for (const Shape shape :
+         {Shape::kUniform, Shape::kSmallDomain, Shape::kZipf}) {
+      run_differential(threads, IntraMode::kShared, shape, seed++);
+    }
+  }
+}
+
+TEST(ConcurrentDifferentialFuzz, MergeMatchesOracle) {
+  std::uint64_t seed = 200;
+  for (const std::uint32_t threads : {1u, 2u, 3u, 4u, 8u}) {
+    for (const Shape shape :
+         {Shape::kUniform, Shape::kSmallDomain, Shape::kZipf}) {
+      run_differential(threads, IntraMode::kMerge, shape, seed++);
+    }
+  }
+}
+
+TEST(ConcurrentDifferentialFuzz, MergeExtractOrderIsBitIdenticalToSerial) {
+  // The determinism contract the docs promise: merge-mode chain linkage --
+  // and therefore extraction order -- equals the serial insert order at
+  // every thread count.
+  SplitMix64 rng(7);
+  const PosRange range{0, 2048};
+  const auto batch = shaped_batch(rng, range, 6000, Shape::kUniform);
+  LocalHashTable oracle(Schema{100}, range);
+  oracle.insert_batch(batch);
+  const auto want = oracle.extract_range(range);
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    NodeTable table(Schema{100}, range, threads, IntraMode::kMerge);
+    table.insert_batch(batch);
+    EXPECT_EQ(table.extract_range(range), want) << "threads=" << threads;
+  }
+}
+
+// ----------------------------------------------------------- raw stress
+
+constexpr unsigned kStressThreads = 4;
+
+/// Concurrent insert_rows from bare threads, then verify against a serial
+/// oracle built from the same rows.
+TEST(ConcurrentStress, ParallelInsertMatchesSerial) {
+  SplitMix64 rng(42);
+  const PosRange range{0, 1024};
+  const Schema schema{100};
+  const auto batch = shaped_batch(rng, range, 40'000, Shape::kUniform);
+
+  ConcurrentKeyIndex table(schema, range);
+  table.reserve_rows(batch.size());
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kStressThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto [begin, end] =
+          IntraPool::slice(batch.size(), kStressThreads, t);
+      table.insert_rows(batch, begin, end);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  LocalHashTable oracle(schema, range);
+  oracle.insert_batch(batch);
+  EXPECT_EQ(table.tuple_count(), oracle.tuple_count());
+  EXPECT_EQ(table.footprint_bytes(), oracle.footprint_bytes());
+  const auto probe = shaped_batch(rng, range, 20'000, Shape::kUniform);
+  const auto want = oracle.probe_batch(probe);
+  const auto got = table.probe_batch(probe);
+  EXPECT_EQ(got.matches, want.matches);
+  EXPECT_EQ(got.comparisons, want.comparisons);
+  EXPECT_EQ(got.checksum_delta, want.checksum_delta);
+}
+
+/// Concurrent probe_rows from bare threads over an immutable table.
+TEST(ConcurrentStress, ParallelProbeMatchesSerial) {
+  SplitMix64 rng(43);
+  const PosRange range{0, 1024};
+  const Schema schema{100};
+  const auto build = shaped_batch(rng, range, 30'000, Shape::kSmallDomain);
+  const auto probe = shaped_batch(rng, range, 30'000, Shape::kSmallDomain);
+
+  ConcurrentKeyIndex table(schema, range);
+  table.insert_batch(build);
+  table.ensure_index();
+  std::vector<ConcurrentKeyIndex::BatchProbeResult> lane(kStressThreads);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kStressThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto [begin, end] =
+          IntraPool::slice(probe.size(), kStressThreads, t);
+      lane[t] = table.probe_rows(probe, begin, end);
+    });
+  }
+  for (auto& th : threads) th.join();
+  ConcurrentKeyIndex::BatchProbeResult got;
+  for (const auto& r : lane) {
+    got.probed += r.probed;
+    got.matches += r.matches;
+    got.comparisons += r.comparisons;
+    got.checksum_delta += r.checksum_delta;
+  }
+
+  LocalHashTable oracle(schema, range);
+  oracle.insert_batch(build);
+  const auto want = oracle.probe_batch(probe);
+  EXPECT_EQ(got.probed, want.probed);
+  EXPECT_EQ(got.matches, want.matches);
+  EXPECT_EQ(got.comparisons, want.comparisons);
+  EXPECT_EQ(got.checksum_delta, want.checksum_delta);
+}
+
+/// Inserters and probers in flight at once against a live index -- the
+/// spill-path interleaving.  Mid-flight probe results are timing-dependent
+/// by design; the test asserts race-freedom (TSan) plus exact final state.
+TEST(ConcurrentStress, InsertWhileProbe) {
+  SplitMix64 rng(44);
+  const PosRange range{0, 1024};
+  const Schema schema{100};
+  const auto pre = shaped_batch(rng, range, 10'000, Shape::kUniform);
+  const auto extra = shaped_batch(rng, range, 10'000, Shape::kUniform);
+  const auto probe = shaped_batch(rng, range, 10'000, Shape::kUniform);
+
+  ConcurrentKeyIndex table(schema, range);
+  table.insert_batch(pre);
+  table.ensure_index();       // index live: inserts now publish into it
+  table.reserve_rows(extra.size());
+
+  std::vector<std::thread> threads;
+  constexpr unsigned kWriters = 2, kReaders = 2;
+  for (unsigned t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      const auto [begin, end] = IntraPool::slice(extra.size(), kWriters, t);
+      table.insert_rows(extra, begin, end);
+    });
+  }
+  std::atomic<std::uint64_t> probed_total{0};
+  for (unsigned t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      const auto [begin, end] = IntraPool::slice(probe.size(), kReaders, t);
+      const auto r = table.probe_rows(probe, begin, end);
+      probed_total.fetch_add(r.probed);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(probed_total.load(), probe.size());
+
+  LocalHashTable oracle(schema, range);
+  oracle.insert_batch(pre);
+  oracle.insert_batch(extra);
+  EXPECT_EQ(table.tuple_count(), oracle.tuple_count());
+  const auto want = oracle.probe_batch(probe);
+  const auto got = table.probe_batch(probe);
+  EXPECT_EQ(got.matches, want.matches);
+  EXPECT_EQ(got.checksum_delta, want.checksum_delta);
+}
+
+/// Merge-protocol hammer: many begin/scatter/merge/finish cycles driven by
+/// bare threads, each cycle checked for the bit-identical-to-serial chain
+/// linkage the discipline guarantees.
+TEST(ConcurrentStress, MergeProtocolHammer) {
+  SplitMix64 rng(45);
+  const PosRange range{0, 512};
+  const Schema schema{100};
+  ConcurrentKeyIndex table(schema, range);
+  LocalHashTable oracle(schema, range);
+
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    const auto batch = shaped_batch(
+        rng, range, 4'000,
+        cycle % 2 == 0 ? Shape::kUniform : Shape::kZipf);
+    oracle.insert_batch(batch);
+    table.begin_merge(batch, kStressThreads);
+    {
+      std::vector<std::thread> threads;
+      for (unsigned t = 0; t < kStressThreads; ++t) {
+        threads.emplace_back(
+            [&, t] { table.scatter_rows(batch, t, kStressThreads); });
+      }
+      for (auto& th : threads) th.join();
+    }
+    {
+      std::vector<std::thread> threads;
+      for (unsigned t = 0; t < kStressThreads; ++t) {
+        threads.emplace_back(
+            [&, t] { table.merge_subrange(batch, t, kStressThreads); });
+      }
+      for (auto& th : threads) th.join();
+    }
+    table.finish_merge(batch);
+    EXPECT_EQ(table.tuple_count(), oracle.tuple_count());
+  }
+  // Chain linkage identical to serial insert order => identical extraction.
+  EXPECT_EQ(table.extract_range(range), oracle.extract_range(range));
+}
+
+// ------------------------------------------------- serial API equivalence
+
+TEST(ConcurrentKeyIndexTest, SerialSurgeryMatchesLocalHashTable) {
+  SplitMix64 rng(46);
+  const PosRange range{100, 1100};
+  const Schema schema{100};
+  ConcurrentKeyIndex table(schema, range);
+  LocalHashTable oracle(schema, range);
+  const auto batch = shaped_batch(rng, range, 5'000, Shape::kUniform);
+  table.insert_batch(batch);
+  oracle.insert_batch(batch);
+
+  EXPECT_EQ(table.histogram(64).weights(), oracle.histogram(64).weights());
+  EXPECT_EQ(table.extract_range(PosRange{100, 600}),
+            oracle.extract_range(PosRange{100, 600}));
+  table.set_range(PosRange{600, 1100});
+  oracle.set_range(PosRange{600, 1100});
+  EXPECT_EQ(table.tuple_count(), oracle.tuple_count());
+  const auto probe = shaped_batch(rng, PosRange{600, 1100}, 2'000,
+                                  Shape::kUniform);
+  const auto want = oracle.probe_batch(probe);
+  const auto got = table.probe_batch(probe);
+  EXPECT_EQ(got.matches, want.matches);
+  EXPECT_EQ(got.comparisons, want.comparisons);
+  EXPECT_EQ(got.checksum_delta, want.checksum_delta);
+
+  table.clear();
+  oracle.clear();
+  EXPECT_EQ(table.tuple_count(), 0u);
+  EXPECT_EQ(table.footprint_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ehja
