@@ -1,0 +1,236 @@
+// Materialized-pipeline throughput tracker (writes BENCH_pipeline.json).
+//
+// Runs the TPC-H-shaped chain (lineitem |><| orders |><| customer,
+// workload/tpch_like) as a real materialized pipeline on the thread
+// runtime -- actor wall-clock, not virtual time -- and records per-stage
+// and end-to-end tuples/sec for every algorithm, uniform and skewed.
+// Every run is checked against the serial_multi_join oracle first; a
+// mismatch aborts with exit 2 (a perf number for a wrong answer is
+// worthless).  CI runs `--smoke` for the artifact and a baseline-scale run
+// that tools/check_bench.py grades against the committed
+// BENCH_pipeline.json (>25% tuples/sec drop fails; absolute throughput
+// only gates when host_cores matches).
+//
+// The `modeled` block records the independence-assumption cardinality
+// estimates next to the measured intermediates -- the modeled-vs-
+// materialized comparison tabulated in EXPERIMENTS.md.
+//
+// Usage: bench_pipeline [--smoke] [--out=PATH] [--scale=X]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "workload/tpch_like.hpp"
+
+namespace ehja {
+namespace {
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct StagePoint {
+  std::uint64_t build_rows = 0;
+  std::uint64_t probe_rows = 0;
+  std::uint64_t output_rows = 0;
+  double wall_sec = 0;
+  double tuples_per_sec = 0;
+};
+
+struct PipelinePoint {
+  std::string name;
+  std::vector<StagePoint> stages;
+  double wall_sec = 0;
+  double end_to_end_tps = 0;
+  std::uint64_t matches = 0;
+  std::uint32_t peak_join_nodes = 0;
+  std::uint32_t denied_expansions = 0;
+};
+
+PipelinePoint bench_once(const TpchLikeOptions& options,
+                         const MultiJoinResult& oracle) {
+  const PipelinePlan plan = tpch_like_plan(options);
+  const double t0 = now_sec();
+  const PipelineResult result = run_pipeline(plan, RuntimeKind::kThread);
+  const double wall = now_sec() - t0;
+
+  if (result.final != oracle.final || result.final_rows != oracle.final_rows) {
+    std::cerr << "FATAL: " << algorithm_name(options.algorithm)
+              << " pipeline diverged from the serial oracle\n";
+    std::exit(2);
+  }
+
+  PipelinePoint point;
+  point.name = algorithm_name(options.algorithm);
+  point.wall_sec = wall;
+  point.matches = result.final.matches;
+  point.peak_join_nodes = result.peak_join_nodes;
+  point.denied_expansions = result.denied_expansions;
+  std::uint64_t build_rows = plan.first_build.tuple_count;
+  std::uint64_t total_tuples = 0;
+  for (std::size_t k = 0; k < result.stages.size(); ++k) {
+    const StageResult& stage = result.stages[k];
+    StagePoint sp;
+    sp.build_rows = build_rows;
+    sp.probe_rows = plan.stages[k].probe.tuple_count;
+    sp.output_rows = stage.output_rows;
+    // ThreadRuntime timestamps are wall-clock, so the stage's own metrics
+    // give its genuine processing rate.
+    sp.wall_sec = stage.executed ? stage.run.metrics.total_time() : 0.0;
+    const std::uint64_t in = sp.build_rows + sp.probe_rows;
+    sp.tuples_per_sec = sp.wall_sec > 0 ? static_cast<double>(in) / sp.wall_sec
+                                        : 0.0;
+    total_tuples += in;
+    build_rows = stage.output_rows;
+    point.stages.push_back(sp);
+  }
+  point.end_to_end_tps = static_cast<double>(total_tuples) / wall;
+  return point;
+}
+
+/// Median-of-reps by end-to-end wall time: one whole run is the sampling
+/// unit, so the reported per-stage numbers stay internally consistent
+/// (they all come from the same run).
+PipelinePoint bench_one(const TpchLikeOptions& options,
+                        const MultiJoinResult& oracle, int reps) {
+  std::vector<PipelinePoint> points;
+  for (int r = 0; r < reps; ++r) points.push_back(bench_once(options, oracle));
+  std::sort(points.begin(), points.end(),
+            [](const PipelinePoint& a, const PipelinePoint& b) {
+              return a.wall_sec < b.wall_sec;
+            });
+  return points[points.size() / 2];
+}
+
+void write_point(std::ostream& os, const PipelinePoint& p, bool last) {
+  os << "    \"" << p.name << "\": {\n      \"stages\": [\n";
+  for (std::size_t k = 0; k < p.stages.size(); ++k) {
+    const StagePoint& s = p.stages[k];
+    os << "        {\"build_rows\": " << s.build_rows
+       << ", \"probe_rows\": " << s.probe_rows
+       << ", \"output_rows\": " << s.output_rows
+       << ", \"wall_sec\": " << s.wall_sec
+       << ", \"tuples_per_sec\": " << std::llround(s.tuples_per_sec) << "}"
+       << (k + 1 < p.stages.size() ? ",\n" : "\n");
+  }
+  os << "      ],\n      \"wall_sec\": " << p.wall_sec
+     << ",\n      \"tuples_per_sec\": " << std::llround(p.end_to_end_tps)
+     << ",\n      \"matches\": " << p.matches
+     << ",\n      \"peak_join_nodes\": " << p.peak_join_nodes
+     << ",\n      \"denied_expansions\": " << p.denied_expansions
+     << "\n    }" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+}  // namespace ehja
+
+int main(int argc, char** argv) {
+  using namespace ehja;
+  bool smoke = false;
+  std::string out_path = "BENCH_pipeline.json";
+  double scale_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strncmp(argv[i], "--scale=", 8) == 0)
+      scale_override = std::strtod(argv[i] + 8, nullptr);
+  }
+  // Baseline scale 1.0 = 20k orders / 80k lineitem / 2k customer; smoke
+  // shrinks the chain but keeps its shape.
+  const double scale = scale_override > 0 ? scale_override : (smoke ? 0.25 : 1.0);
+
+  TpchLikeOptions base;
+  base.scale = scale;
+  const PipelinePlan shape = tpch_like_plan(base);
+  std::uint64_t input_tuples = shape.first_build.tuple_count;
+  for (const PipelineStage& stage : shape.stages) {
+    input_tuples += stage.probe.tuple_count;
+  }
+  const unsigned host_cores =
+      std::max(1u, std::thread::hardware_concurrency());
+
+  constexpr Algorithm kAll[] = {Algorithm::kSplit, Algorithm::kReplicate,
+                                Algorithm::kHybrid, Algorithm::kOutOfCore,
+                                Algorithm::kAdaptive};
+  std::vector<PipelinePoint> uniform_points, skewed_points;
+  // One oracle evaluation per workload shape: the chain's content depends
+  // only on the plan's relations and seeds, never on the algorithm.
+  const MultiJoinResult uniform_oracle = serial_multi_join(tpch_like_plan(base));
+  TpchLikeOptions skewed_options = base;
+  skewed_options.skew = 1.1;
+  const MultiJoinResult skewed_oracle =
+      serial_multi_join(tpch_like_plan(skewed_options));
+  const int reps = smoke ? 3 : 5;
+  for (const Algorithm algorithm : kAll) {
+    TpchLikeOptions options = base;
+    options.algorithm = algorithm;
+    uniform_points.push_back(bench_one(options, uniform_oracle, reps));
+    options.skew = skewed_options.skew;
+    skewed_points.push_back(bench_one(options, skewed_oracle, reps));
+  }
+
+  // Modeled intermediates under the independence assumption: every
+  // lineitem's FK hits (orders / orderkey-domain) build rows on average,
+  // and likewise for custkey.  The domains equal the parent cardinalities,
+  // so the model predicts |stage0| = |lineitem| and |stage1| = |stage0| --
+  // exact for uniform FKs, increasingly wrong under skew (hot keys square).
+  const std::uint64_t modeled_stage0 = shape.stages[0].probe.tuple_count;
+  const std::uint64_t modeled_stage1 = modeled_stage0;
+
+  std::ofstream os(out_path);
+  os << "{\n  \"bench\": \"pipeline\",\n";
+  os << "  \"tuples\": " << input_tuples << ",\n  \"scale\": " << scale
+     << ",\n  \"reps\": " << reps
+     << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+     << ",\n  \"host_cores\": " << host_cores << ",\n";
+  os << "  \"workload\": {\"orders\": " << shape.first_build.tuple_count
+     << ", \"lineitem\": " << shape.stages[0].probe.tuple_count
+     << ", \"customer\": " << shape.stages[1].probe.tuple_count << "},\n";
+  os << "  \"modeled\": {\"stage0_rows\": " << modeled_stage0
+     << ", \"stage1_rows\": " << modeled_stage1
+     << ", \"uniform_measured_stage0\": "
+     << uniform_points[0].stages[0].output_rows
+     << ", \"uniform_measured_stage1\": "
+     << uniform_points[0].stages[1].output_rows
+     << ", \"skewed_measured_stage0\": "
+     << skewed_points[0].stages[0].output_rows
+     << ", \"skewed_measured_stage1\": "
+     << skewed_points[0].stages[1].output_rows << "},\n";
+  os << "  \"uniform\": {\n";
+  for (std::size_t i = 0; i < uniform_points.size(); ++i) {
+    write_point(os, uniform_points[i], i + 1 == uniform_points.size());
+  }
+  os << "  },\n  \"skewed\": {\n";
+  for (std::size_t i = 0; i < skewed_points.size(); ++i) {
+    write_point(os, skewed_points[i], i + 1 == skewed_points.size());
+  }
+  os << "  }\n}\n";
+  os.close();
+
+  for (const auto* points : {&uniform_points, &skewed_points}) {
+    std::cout << (points == &uniform_points ? "uniform" : "skewed") << ":\n";
+    for (const PipelinePoint& p : *points) {
+      std::cout << "  " << p.name << ": " << std::llround(p.end_to_end_tps)
+                << " t/s end-to-end (" << p.wall_sec << " s, peak "
+                << p.peak_join_nodes << " nodes";
+      for (std::size_t k = 0; k < p.stages.size(); ++k) {
+        std::cout << "; stage " << k << " "
+                  << std::llround(p.stages[k].tuples_per_sec) << " t/s";
+      }
+      std::cout << ")\n";
+    }
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -2,10 +2,11 @@
 // introduction and its ss6 future work, using the run_pipeline() API.
 //
 // A three-relation left-deep plan  (Orders |><| Items) |><| Shipments:
-// each stage's output streams into the next stage's build side, so the
-// memory a stage needs is unknowable until the previous stage finishes --
-// exactly the case for starting on a small node set and expanding on
-// demand.
+// each stage's output rows are captured, re-keyed, and materialized as the
+// next stage's build relation, so the memory a stage needs is unknowable
+// until the previous stage finishes -- exactly the case for starting on a
+// small node set and expanding on demand.  All stages draw expansion nodes
+// from one shared budget and return them when they drain.
 #include <cstdio>
 
 #include "core/pipeline.hpp"
@@ -18,23 +19,25 @@ int main() {
 
   PipelinePlan plan;
   plan.first_build = RelationSpec{RelTag::kR, 300'000, Schema{100},
-                                  DistributionSpec::SmallDomain(1 << 19)};
-  plan.intermediate_dist = DistributionSpec::SmallDomain(1 << 19);
+                                  DistributionSpec::SmallDomain(1 << 19),
+                                  nullptr};
   plan.intermediate_tuple_bytes = 200;  // joined rows carry both payloads
-  plan.join_pool_nodes = 12;
+  plan.join_pool_nodes = 12;            // the shared budget
   plan.data_sources = 3;
   plan.node_hash_memory_bytes = 4 * kMiB;  // small enough to force expansion
 
   PipelineStage items;
   items.probe = RelationSpec{RelTag::kS, 600'000, Schema{100},
-                             DistributionSpec::SmallDomain(1 << 19)};
+                             DistributionSpec::SmallDomain(1 << 19), nullptr};
   items.algorithm = Algorithm::kHybrid;
   items.initial_join_nodes = 2;  // conservative initial allocation
+  items.link_dist = DistributionSpec::SmallDomain(1 << 19);
   plan.stages.push_back(items);
 
   PipelineStage shipments;
   shipments.probe = RelationSpec{RelTag::kS, 400'000, Schema{100},
-                                 DistributionSpec::SmallDomain(1 << 19)};
+                                 DistributionSpec::SmallDomain(1 << 19),
+                                 nullptr};
   shipments.algorithm = Algorithm::kHybrid;
   shipments.initial_join_nodes = 2;
   plan.stages.push_back(shipments);
@@ -45,22 +48,33 @@ int main() {
               "probe rows", "output rows", "time (s)", "nodes");
   std::uint64_t build_rows = plan.first_build.tuple_count;
   for (std::size_t k = 0; k < result.stages.size(); ++k) {
-    const RunResult& stage = result.stages[k];
+    const StageResult& stage = result.stages[k];
     std::printf("%-8zu %12llu %12llu %12llu %10.2f %5u -> %-4u\n", k,
                 static_cast<unsigned long long>(build_rows),
                 static_cast<unsigned long long>(
-                    stage.metrics.probe_tuples_total),
-                static_cast<unsigned long long>(stage.join().matches),
-                stage.metrics.total_time(),
-                stage.metrics.initial_join_nodes,
-                stage.metrics.final_join_nodes);
-    build_rows = stage.join().matches;
+                    stage.run.metrics.probe_tuples_total),
+                static_cast<unsigned long long>(stage.output_rows),
+                stage.run.metrics.total_time(),
+                stage.run.metrics.initial_join_nodes,
+                stage.run.metrics.final_join_nodes);
+    build_rows = stage.output_rows;
   }
   std::printf(
-      "\npipeline: %.2f virtual seconds, peak %u join nodes, %llu result "
-      "rows\n",
-      result.total_time, result.peak_join_nodes,
-      static_cast<unsigned long long>(result.final_matches));
+      "\npipeline: %.2f virtual seconds, peak %u/%u join nodes, %u denied "
+      "expansions, %llu result rows\n",
+      result.total_time, result.peak_join_nodes, plan.join_pool_nodes,
+      result.denied_expansions,
+      static_cast<unsigned long long>(result.final.matches));
+
+  // The whole chain, replayed tuple-by-tuple through the serial oracle.
+  const MultiJoinResult oracle = serial_multi_join(plan);
+  std::printf("serial oracle agrees: %s (%llu rows, checksum %016llx)\n",
+              oracle.final == result.final && oracle.final_rows ==
+                                                  result.final_rows
+                  ? "yes"
+                  : "NO",
+              static_cast<unsigned long long>(oracle.final.matches),
+              static_cast<unsigned long long>(oracle.final.checksum));
   std::printf(
       "every stage sized itself at runtime -- static provisioning would "
       "have needed the intermediate cardinalities in advance.\n");

@@ -55,6 +55,19 @@ std::optional<std::string> EhjaConfig::validate_or_error() const {
   if (build_rel.schema.tuple_bytes < 16 || probe_rel.schema.tuple_bytes < 16) {
     return "tuples must be >= 16 bytes (id + key header)";
   }
+  for (const RelationSpec* rel : {&build_rel, &probe_rel}) {
+    if (!rel->data) continue;
+    if (rel->data->rows.size() != rel->tuple_count) {
+      return "materialized relation row count disagrees with tuple_count";
+    }
+    // A materialized relation rides inside the config's wire frame, whose
+    // body is capped at 64 MiB (net/wire.hpp kMaxFrameBody).  Worst-case
+    // varint encoding is 10 bytes per column; reject before a socket run
+    // dies mid-handshake on an oversized frame.
+    if (rel->data->rows.size() > (60u << 20) / 20) {
+      return "materialized relation too large to ship in one config frame";
+    }
+  }
   if (node_hash_memory_bytes < tuple_footprint(build_rel.schema)) {
     return "per-node hash memory smaller than a single tuple footprint";
   }
@@ -149,6 +162,7 @@ std::string EhjaConfig::to_string() const {
   if (intra_threads > 1) {
     os << " intra=" << intra_threads << "/" << intra_mode_name(intra_mode);
   }
+  if (capture_output) os << " capture=on stage=" << pipeline_stage;
   if (recovery_enabled()) {
     os << " ft=on kills=" << faults.kills.size()
        << " detector=" << detector_kind_name(ft.detector);

@@ -147,9 +147,9 @@ struct EhjaConfig {
   /// Relations.  build_rel is hashed (paper: usually the smaller); probe_rel
   /// streams against it.
   RelationSpec build_rel{RelTag::kR, 10'000'000, Schema{100},
-                         DistributionSpec::Uniform()};
+                         DistributionSpec::Uniform(), nullptr};
   RelationSpec probe_rel{RelTag::kS, 10'000'000, Schema{100},
-                         DistributionSpec::Uniform()};
+                         DistributionSpec::Uniform(), nullptr};
 
   /// Transport chunk capacity (paper: 10 000 tuples).
   std::uint32_t chunk_tuples = 10'000;
@@ -199,6 +199,17 @@ struct EhjaConfig {
   /// notes sampling costs real work; it is charged to the scheduler node).
   std::uint64_t partition_sample = 100'000;
 
+  /// Capture the join's output rows: every join node ships its matched
+  /// (build_row_id, probe_row_id) pairs to the scheduler via kResultChunk
+  /// ahead of its node report, and they land in RunMetrics::output_rows.
+  /// The pipeline driver turns these into the next stage's build relation;
+  /// one-shot runs leave it off (the checksum already proves the result).
+  bool capture_output = false;
+  /// Which pipeline stage this run executes (0-based; 0 also = standalone).
+  /// Purely diagnostic on the execution path -- it tags traces, wire frames
+  /// and error messages so a multi-stage failure names its stage.
+  std::uint32_t pipeline_stage = 0;
+
   /// Optional run tracing (non-owning; must outlive the run).  When set,
   /// the scheduler and join processes emit phase transitions, expansions,
   /// memory samples and spill events -- see trace/trace.hpp.
@@ -221,6 +232,13 @@ struct EhjaConfig {
     // A standby implies recovery: without heartbeats the active would never
     // ping it and the standby's own detector would falsely promote.
     return ft.force_enabled || ft.standby_scheduler || !faults.empty();
+  }
+
+  /// Schema of captured output rows: a join row carries both inputs'
+  /// payloads side by side, so result chunks are costed at the combined
+  /// width (capture_output runs only).
+  Schema result_schema() const {
+    return Schema{build_rel.schema.tuple_bytes + probe_rel.schema.tuple_bytes};
   }
 
   /// First kill spec targeting cluster node `node`, or nullptr.

@@ -33,6 +33,13 @@ std::unique_ptr<Runtime> make_runtime(RuntimeKind kind, ClusterSpec spec,
 }  // namespace
 
 RunResult run_ehja(const EhjaConfig& config, RuntimeKind kind) {
+  RunOptions options;
+  options.kind = kind;
+  return run_ehja(config, options);
+}
+
+RunResult run_ehja(const EhjaConfig& config, const RunOptions& options) {
+  const RuntimeKind kind = options.kind;
   config.validate();
   auto cfg = std::make_shared<const EhjaConfig>(config);
   std::unique_ptr<Runtime> runtime =
@@ -44,8 +51,13 @@ RunResult run_ehja(const EhjaConfig& config, RuntimeKind kind) {
   // socket runtime the coordinator process hosts the driver and cannot be
   // killed, so the standby shares its node.
   QueryRun query(*rt, cfg);
-  query.start(QueryPlacement::from_config(
-      *cfg, /*standby_on_scheduler_node=*/kind == RuntimeKind::kSocket));
+  if (options.pool_hooks.acquire) query.set_pool_hooks(options.pool_hooks);
+  query.start(options.placement
+                  ? *options.placement
+                  : QueryPlacement::from_config(
+                        *cfg,
+                        /*standby_on_scheduler_node=*/kind ==
+                            RuntimeKind::kSocket));
 
   // Install the fault plan's time-triggered kills (progress-triggered ones
   // fire from inside the victim process as its K-th chunk or message

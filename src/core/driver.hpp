@@ -11,8 +11,11 @@
 //   std::cout << result.metrics.total_time() << " virtual seconds\n";
 #pragma once
 
+#include <optional>
+
 #include "core/config.hpp"
 #include "core/metrics.hpp"
+#include "core/query_run.hpp"
 #include "join/serial_join.hpp"
 
 namespace ehja {
@@ -30,9 +33,27 @@ struct RunResult {
   const JoinResult& join() const { return metrics.join; }
 };
 
+/// Knobs for callers that need more than the classic one-query layout (the
+/// pipeline driver): an external expansion provider and/or an explicit
+/// placement.  Default-constructed RunOptions reproduce run_ehja(config,
+/// kind) exactly.
+struct RunOptions {
+  RuntimeKind kind = RuntimeKind::kSim;
+  /// When set (both callbacks), the query's ResourcePool consults this
+  /// provider for every expansion beyond placement.pool_nodes -- pair it
+  /// with an empty pool_nodes list to route *all* expansion through it.
+  PoolHooks pool_hooks;
+  /// Override the config-derived placement (node ids must exist in the
+  /// cluster make_cluster(config) induces).
+  std::optional<QueryPlacement> placement;
+};
+
 /// Execute one distributed join per `config` and return its metrics.
 RunResult run_ehja(const EhjaConfig& config,
                    RuntimeKind kind = RuntimeKind::kSim);
+
+/// As above, with explicit pool hooks / placement.
+RunResult run_ehja(const EhjaConfig& config, const RunOptions& options);
 
 /// The serial oracle: materialize both relations exactly as the configured
 /// data sources would generate them and join them with Algorithm 1.  Every

@@ -310,12 +310,13 @@ void JoinProcessActor::handle_probe_chunk(const Chunk& chunk) {
   if (spiller_) {
     double seconds = 0.0;
     for (std::size_t i = 0; i < chunk.size(); ++i) {
-      seconds += spiller_->add_probe(chunk.batch.tuple(i), result_);
+      seconds +=
+          spiller_->add_probe(chunk.batch.tuple(i), result_, capture_sink());
     }
     charge(seconds);
     return;
   }
-  const auto agg = table_->probe_batch(chunk.batch);
+  const auto agg = table_->probe_batch(chunk.batch, capture_sink());
   result_.matches += agg.matches;
   result_.checksum += agg.checksum_delta;
   charge(static_cast<double>(agg.probed) * config_->cost.tuple_probe_sec +
@@ -486,8 +487,10 @@ void JoinProcessActor::handle_range_reset(const RangeResetPayload& reset) {
   if (reset.zero_probe_results) {
     // Probe-phase recovery recomputes the entry from scratch: matches
     // against the partial pre-crash table cannot be separated from the
-    // matches the full replay will recompute.
+    // matches the full replay will recompute.  Captured rows mirror the
+    // checksum, so they are wiped together.
     result_ = JoinResult{};
+    captured_.clear();
     probe_tuples_ = 0;
   }
   if (table_) {
@@ -552,7 +555,9 @@ double JoinProcessActor::rebuild_spiller(const RangeResetPayload& reset,
   spiller_.emplace(config_->build_rel.schema, range_, budget(),
                    config_->spill_fanout, disk_, config_->cost, ns, policy);
   for (const Tuple& t : build_keep) seconds += spiller_->add_build(t);
-  for (const Tuple& t : probe_keep) seconds += spiller_->add_probe(t, result_);
+  for (const Tuple& t : probe_keep) {
+    seconds += spiller_->add_probe(t, result_, capture_sink());
+  }
   return seconds;
 }
 
@@ -576,7 +581,11 @@ void JoinProcessActor::handle_report_request() {
     // A promoted scheduler cannot know whether this node's report reached
     // its predecessor, so kReportRequest is re-sent; answer from the stored
     // copy -- the spiller's finish pass already ran and must not run twice.
+    // The captured-row stream is resent in full ahead of it (the first
+    // chunk's flag resets the scheduler's accumulation, so no dedup state
+    // is needed here).
     EHJA_INFO(name(), "re-sending node report");
+    send_result_rows();
     send(scheduler_, make_message(Tag::kNodeReport, last_report_,
                                   kControlWireBytes));
     return;
@@ -584,8 +593,9 @@ void JoinProcessActor::handle_report_request() {
   reported_ = true;
   if (spiller_) {
     // Phase 3 of the out-of-core path: join the spilled partition pairs.
-    charge(spiller_->finish(result_));
+    charge(spiller_->finish(result_, capture_sink()));
   }
+  send_result_rows();
   NodeReportPayload report;
   report.metrics.actor = id();
   report.metrics.node = node();
@@ -602,9 +612,39 @@ void JoinProcessActor::handle_report_request() {
     report.metrics.spilled_partitions = spiller_->spilled_partitions();
   }
   report.checksum = result_.checksum;
+  report.result_rows = captured_.size();
   last_report_ = report;
   send(scheduler_,
        make_message(Tag::kNodeReport, std::move(report), kControlWireBytes));
+}
+
+void JoinProcessActor::send_result_rows() {
+  if (!config_->capture_output) return;
+  // Per-pair FIFO guarantees every chunk lands before the kNodeReport that
+  // follows on the same channel, so the scheduler never sees a report whose
+  // row count the stream has not yet satisfied.
+  const Schema wide = config_->result_schema();
+  const std::uint64_t total = captured_.size();
+  std::size_t offset = 0;
+  bool first = true;
+  while (offset < captured_.size() || first) {
+    const std::size_t n = std::min<std::size_t>(
+        config_->chunk_tuples, captured_.size() - offset);
+    ResultChunkPayload payload;
+    payload.first = first;
+    payload.total = total;
+    payload.chunk.rel = config_->build_rel.tag;
+    payload.chunk.batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      payload.chunk.batch.push_back(captured_[offset + i]);
+    }
+    const std::size_t wire = chunk_wire_bytes(payload.chunk, wide);
+    charge(static_cast<double>(n) * config_->cost.tuple_pack_sec);
+    send(scheduler_,
+         make_message(Tag::kResultChunk, std::move(payload), wire));
+    offset += n;
+    first = false;
+  }
 }
 
 }  // namespace ehja

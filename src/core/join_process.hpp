@@ -76,6 +76,10 @@ class JoinProcessActor final : public Actor {
   void handle_histogram_request(const HistogramRequestPayload& req);
   void handle_reshuffle(const ReshuffleMovePayload& move);
   void handle_report_request();
+  /// Stream captured_ to the scheduler as kResultChunk frames (capture
+  /// runs only); the first chunk is flagged so a re-requested report resets
+  /// the scheduler's accumulation instead of double-counting.
+  void send_result_rows();
   void handle_scheduler_handoff(const Message& msg);
   void handle_fence(const RecoveryFencePayload& fence);
   void handle_range_reset(const RangeResetPayload& reset);
@@ -155,6 +159,15 @@ class JoinProcessActor final : public Actor {
   std::uint64_t max_overshoot_bytes_ = 0;
   std::uint64_t fence_dropped_tuples_ = 0;
   JoinResult result_;
+  /// Output pairs captured alongside result_ (capture_output runs only):
+  /// every checksum contribution appends exactly one row here, so the
+  /// multiset always equals the counted result -- across spill-mode
+  /// transitions, spiller rebuilds and probe-phase range resets.
+  std::vector<Tuple> captured_;
+  /// &captured_ when the run asked for output capture, else nullptr.
+  std::vector<Tuple>* capture_sink() {
+    return config_->capture_output ? &captured_ : nullptr;
+  }
 };
 
 }  // namespace ehja

@@ -55,6 +55,7 @@ enum class Tag : int {
   // --- completion ---
   kReportRequest = 50,  // scheduler -> join: finish + report
   kNodeReport = 51,     // join -> scheduler
+  kResultChunk = 52,    // join -> scheduler: captured output rows (pipeline)
 
   // --- failure detection and recovery (recovery_enabled() runs only) ---
   kPing = 60,           // scheduler -> join: are you alive?
@@ -199,6 +200,23 @@ struct ReshuffleDonePayload {
 struct NodeReportPayload {
   NodeMetrics metrics;
   std::uint64_t checksum = 0;
+  /// Output rows this node captured and shipped via kResultChunk before
+  /// this report (capture_output runs only; 0 otherwise).  The scheduler
+  /// cross-checks it against the chunk stream -- a mismatch means rows were
+  /// lost in flight, which the per-pair FIFO contract forbids.
+  std::uint64_t result_rows = 0;
+};
+
+/// One chunk of a join node's captured output rows (id = build row id,
+/// key = probe row id), streamed to the scheduler ahead of the node report
+/// (same FIFO pair, so all chunks precede the report).  A re-requested
+/// report resends the full stream; `first` lets the scheduler reset that
+/// node's accumulation instead of double-counting, and `total` is the
+/// node's full captured count for incremental validation.
+struct ResultChunkPayload {
+  Chunk chunk;
+  bool first = false;
+  std::uint64_t total = 0;
 };
 
 // --- failure detection and recovery payloads ---

@@ -101,6 +101,14 @@ struct RunMetrics {
   std::uint64_t build_tuples_total = 0;
   std::uint64_t probe_tuples_total = 0;
 
+  /// Captured output pairs (id = build row id, key = probe row id), present
+  /// only when EhjaConfig::capture_output asked for them.  Arrival order is
+  /// per-node report order, so treat as a multiset; the pipeline driver
+  /// canonicalizes it before handing to the next stage.  Deliberately NOT
+  /// carried by the scheduler-snapshot codec: a promoted scheduler re-runs
+  /// the report collection, which re-delivers every node's chunk stream.
+  std::vector<Tuple> output_rows;
+
   std::vector<NodeMetrics> nodes;
 
   /// Build-tuple load per node, in chunks (Figures 12-13).

@@ -99,20 +99,28 @@ class NodeTable {
     }
   }
 
-  ProbeResult probe(const Tuple& s) {
-    return scalar_ ? scalar_->probe(s) : par_->probe(s);
+  ProbeResult probe(const Tuple& s, std::vector<Tuple>* sink = nullptr) {
+    return scalar_ ? scalar_->probe(s, sink) : par_->probe(s, sink);
   }
 
-  BatchProbeResult probe_batch(const TupleBatch& batch) {
-    if (scalar_) return scalar_->probe_batch(batch);
+  /// `sink`, when non-null, receives one Tuple{build_row_id, probe_row_id}
+  /// per match.  The parallel path captures into per-lane vectors and
+  /// concatenates them in lane order, so the appended run is deterministic
+  /// for a given batch at any thread count (a row's matches stay in that
+  /// row's lane and lanes cover rows in order).
+  BatchProbeResult probe_batch(const TupleBatch& batch,
+                               std::vector<Tuple>* sink = nullptr) {
+    if (scalar_) return scalar_->probe_batch(batch, sink);
     const std::size_t n = batch.size();
     const unsigned lanes = pool_->threads();
-    if (n < kMinRowsPerLane * lanes) return par_->probe_batch(batch);
+    if (n < kMinRowsPerLane * lanes) return par_->probe_batch(batch, sink);
     if (!par_->empty()) par_->ensure_index();
     std::vector<BatchProbeResult> per_lane(lanes);
+    std::vector<std::vector<Tuple>> lane_rows(sink ? lanes : 0);
     pool_->run([&](unsigned t) {
       const auto [begin, end] = IntraPool::slice(n, lanes, t);
-      per_lane[t] = par_->probe_rows(batch, begin, end);
+      per_lane[t] = par_->probe_rows(batch, begin, end,
+                                     sink ? &lane_rows[t] : nullptr);
     });
     BatchProbeResult agg;
     for (const BatchProbeResult& r : per_lane) {
@@ -120,6 +128,11 @@ class NodeTable {
       agg.matches += r.matches;
       agg.comparisons += r.comparisons;
       agg.checksum_delta += r.checksum_delta;
+    }
+    if (sink) {
+      for (const std::vector<Tuple>& rows : lane_rows) {
+        sink->insert(sink->end(), rows.begin(), rows.end());
+      }
     }
     return agg;
   }

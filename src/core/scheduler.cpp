@@ -192,8 +192,11 @@ void SchedulerActor::on_message(const Message& msg) {
     case Tag::kReshuffleDone:
       handle_reshuffle_done(msg.as<ReshuffleDonePayload>());
       break;
+    case Tag::kResultChunk:
+      handle_result_chunk(msg.from, msg.as<ResultChunkPayload>());
+      break;
     case Tag::kNodeReport:
-      handle_node_report(msg.as<NodeReportPayload>());
+      handle_node_report(msg.from, msg.as<NodeReportPayload>());
       break;
     default:
       EHJA_CHECK_MSG(false, "scheduler received unexpected tag");
@@ -666,6 +669,7 @@ void SchedulerActor::finish_promotion() {
     metrics_.build_tuples_total = 0;
     metrics_.probe_tuples_total = 0;
     metrics_.extra_build_chunks = 0;
+    result_rows_.clear();
     reports_pending_ = static_cast<std::uint32_t>(joins_.size());
     for (ActorId join : joins_) send(join, make_signal(Tag::kReportRequest));
   } else {
@@ -1012,8 +1016,36 @@ void SchedulerActor::start_probe() {
 
 // -------------------------------------------------------------- completion
 
-void SchedulerActor::handle_node_report(const NodeReportPayload& report) {
+void SchedulerActor::handle_result_chunk(ActorId from,
+                                         const ResultChunkPayload& payload) {
+  EHJA_CHECK_MSG(config_->capture_output,
+                 "result chunk on a run that never asked for capture");
   EHJA_CHECK(phase_ == Phase::kReporting);
+  std::vector<Tuple>& rows = result_rows_[from];
+  // A re-requested report resends the node's whole stream; the first-chunk
+  // flag restarts accumulation so the duplicate stream replaces (never
+  // doubles) the original.
+  if (payload.first) rows.clear();
+  rows.reserve(rows.size() + payload.chunk.size());
+  for (std::size_t i = 0; i < payload.chunk.size(); ++i) {
+    rows.push_back(payload.chunk.batch.tuple(i));
+  }
+  EHJA_CHECK_MSG(rows.size() <= payload.total,
+                 "result chunks exceed the sender's declared total");
+}
+
+void SchedulerActor::handle_node_report(ActorId from,
+                                        const NodeReportPayload& report) {
+  EHJA_CHECK(phase_ == Phase::kReporting);
+  if (config_->capture_output) {
+    // FIFO per pair: every chunk of this node's stream precedes its report.
+    const auto it = result_rows_.find(from);
+    const std::size_t rows = it == result_rows_.end() ? 0 : it->second.size();
+    EHJA_CHECK_MSG(rows == report.result_rows,
+                   "captured result rows lost in flight");
+    EHJA_CHECK_MSG(report.result_rows == report.metrics.matches,
+                   "captured rows disagree with the match count");
+  }
   metrics_.nodes.push_back(report.metrics);
   metrics_.join.matches += report.metrics.matches;
   metrics_.join.checksum += report.checksum;
@@ -1027,6 +1059,20 @@ void SchedulerActor::handle_node_report(const NodeReportPayload& report) {
   metrics_.final_join_nodes = static_cast<std::uint32_t>(joins_.size());
   metrics_.source_build_chunks = source_chunks_build_;
   metrics_.source_probe_chunks = source_chunks_probe_;
+  if (config_->capture_output) {
+    // Flatten per-node streams in actor-id order (the map's iteration
+    // order); the consumer treats the result as a multiset and the total
+    // was verified against each report above.
+    metrics_.output_rows.clear();
+    metrics_.output_rows.reserve(
+        static_cast<std::size_t>(metrics_.join.matches));
+    for (auto& [actor, rows] : result_rows_) {
+      metrics_.output_rows.insert(metrics_.output_rows.end(), rows.begin(),
+                                  rows.end());
+    }
+    EHJA_CHECK_MSG(metrics_.output_rows.size() == metrics_.join.matches,
+                   "captured pipeline output disagrees with the match count");
+  }
   // Conservation: every generated build tuple is stored exactly once.
   if (metrics_.build_tuples_total != source_tuples_build_) {
     EHJA_ERROR(name(), "build-tuple conservation broken: joins hold ",

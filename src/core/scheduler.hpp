@@ -178,7 +178,8 @@ class SchedulerActor final : public Actor,
   void dispatch_reshuffle_moves();
   void handle_reshuffle_done(const ReshuffleDonePayload& done);
   void start_probe();
-  void handle_node_report(const NodeReportPayload& report);
+  void handle_result_chunk(ActorId from, const ResultChunkPayload& payload);
+  void handle_node_report(ActorId from, const NodeReportPayload& report);
   std::uint64_t expected_source_chunks() const;
   // --- failure detection and recovery ---
   void handle_heartbeat_tick();
@@ -307,6 +308,11 @@ class SchedulerActor final : public Actor,
 
   // completion
   std::uint32_t reports_pending_ = 0;
+  /// Per-node captured output rows (capture_output runs only), accumulated
+  /// from kResultChunk streams during kReporting, verified against each
+  /// node's report, and flattened into metrics_.output_rows at completion.
+  /// Wiped wholesale when a promoted scheduler re-requests reports.
+  std::map<ActorId, std::vector<Tuple>> result_rows_;
   RunMetrics metrics_;
 };
 

@@ -126,7 +126,8 @@ void ConcurrentKeyIndex::insert_rows(const TupleBatch& batch,
 }
 
 ConcurrentKeyIndex::BatchProbeResult ConcurrentKeyIndex::probe_rows(
-    const TupleBatch& batch, std::size_t begin, std::size_t end) const {
+    const TupleBatch& batch, std::size_t begin, std::size_t end,
+    std::vector<Tuple>* sink) const {
   BatchProbeResult agg;
   if (begin >= end) return agg;
   agg.probed = end - begin;
@@ -162,6 +163,7 @@ ConcurrentKeyIndex::BatchProbeResult ConcurrentKeyIndex::probe_rows(
       ++agg.matches;
       ++agg.comparisons;
       agg.checksum_delta += match_signature(slab_[e].id, ids[i]);
+      if (sink) sink->push_back(Tuple{slab_[e].id, ids[i]});
     }
   }
   return agg;
@@ -313,18 +315,19 @@ void ConcurrentKeyIndex::insert_batch(const TupleBatch& batch) {
   insert_rows(batch, 0, batch.size());
 }
 
-ConcurrentKeyIndex::ProbeResult ConcurrentKeyIndex::probe(const Tuple& s) {
+ConcurrentKeyIndex::ProbeResult ConcurrentKeyIndex::probe(
+    const Tuple& s, std::vector<Tuple>* sink) {
   if (!empty()) ensure_index();
   TupleBatch batch;
   batch.push_back(s);
-  const BatchProbeResult agg = probe_rows(batch, 0, 1);
+  const BatchProbeResult agg = probe_rows(batch, 0, 1, sink);
   return ProbeResult{agg.matches, agg.comparisons, agg.checksum_delta};
 }
 
 ConcurrentKeyIndex::BatchProbeResult ConcurrentKeyIndex::probe_batch(
-    const TupleBatch& batch) {
+    const TupleBatch& batch, std::vector<Tuple>* sink) {
   if (!empty()) ensure_index();
-  return probe_rows(batch, 0, batch.size());
+  return probe_rows(batch, 0, batch.size(), sink);
 }
 
 std::vector<Tuple> ConcurrentKeyIndex::extract_range(const PosRange& sub) {

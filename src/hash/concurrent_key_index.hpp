@@ -67,8 +67,9 @@ class ConcurrentKeyIndex {
 
   void insert(const Tuple& t);
   void insert_batch(const TupleBatch& batch);
-  ProbeResult probe(const Tuple& s);
-  BatchProbeResult probe_batch(const TupleBatch& batch);
+  ProbeResult probe(const Tuple& s, std::vector<Tuple>* sink = nullptr);
+  BatchProbeResult probe_batch(const TupleBatch& batch,
+                               std::vector<Tuple>* sink = nullptr);
   std::vector<Tuple> extract_range(const PosRange& sub);
   void set_range(const PosRange& next);
   BinnedHistogram histogram(std::size_t bins) const;
@@ -84,8 +85,11 @@ class ConcurrentKeyIndex {
   void insert_rows(const TupleBatch& batch, std::size_t begin,
                    std::size_t end);
   /// Thread-safe after ensure_index(): probe rows [begin, end) of `batch`.
+  /// A non-null `sink` (one vector per calling lane) receives one
+  /// Tuple{build_row_id, probe_row_id} per match, mirroring checksum_delta.
   BatchProbeResult probe_rows(const TupleBatch& batch, std::size_t begin,
-                              std::size_t end) const;
+                              std::size_t end,
+                              std::vector<Tuple>* sink = nullptr) const;
   /// Serial: build the key index if absent (probe_rows requires it unless
   /// the table is empty).
   void ensure_index();

@@ -126,7 +126,8 @@ void LocalHashTable::insert_batch(const TupleBatch& batch) {
   footprint_bytes_ += static_cast<std::uint64_t>(n) * tuple_footprint(schema_);
 }
 
-LocalHashTable::ProbeResult LocalHashTable::probe(const Tuple& s) {
+LocalHashTable::ProbeResult LocalHashTable::probe(const Tuple& s,
+                                                  std::vector<Tuple>* sink) {
   const std::uint64_t pos = position_of(s.key);
   EHJA_CHECK_MSG(range_.contains(pos), "probe outside owned range");
   const ChainRef& c = chain(pos);
@@ -141,12 +142,13 @@ LocalHashTable::ProbeResult LocalHashTable::probe(const Tuple& s) {
     ++result.matches;
     ++result.comparisons;
     result.checksum_delta += match_signature(slab_[e].id, s.id);
+    if (sink) sink->push_back(Tuple{slab_[e].id, s.id});
   }
   return result;
 }
 
 LocalHashTable::BatchProbeResult LocalHashTable::probe_batch(
-    const TupleBatch& batch) {
+    const TupleBatch& batch, std::vector<Tuple>* sink) {
   BatchProbeResult agg;
   const std::size_t n = batch.size();
   agg.probed = n;
@@ -182,6 +184,7 @@ LocalHashTable::BatchProbeResult LocalHashTable::probe_batch(
       ++agg.matches;
       ++agg.comparisons;
       agg.checksum_delta += match_signature(slab_[e].id, ids[i]);
+      if (sink) sink->push_back(Tuple{slab_[e].id, ids[i]});
     }
   }
   return agg;

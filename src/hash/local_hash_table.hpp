@@ -84,11 +84,15 @@ class LocalHashTable {
   };
 
   /// Probe with one tuple of the second relation.  (Lazily builds the key
-  /// index, hence non-const.)
-  ProbeResult probe(const Tuple& s);
+  /// index, hence non-const.)  When `sink` is non-null every match appends
+  /// one Tuple{build_row_id, probe_row_id} -- exactly one append per
+  /// checksum_delta contribution, so the captured multiset always equals
+  /// the counted result.
+  ProbeResult probe(const Tuple& s, std::vector<Tuple>* sink = nullptr);
 
-  /// Bulk probe with every tuple of `batch`.
-  BatchProbeResult probe_batch(const TupleBatch& batch);
+  /// Bulk probe with every tuple of `batch` (same sink contract as probe).
+  BatchProbeResult probe_batch(const TupleBatch& batch,
+                               std::vector<Tuple>* sink = nullptr);
 
   /// Remove and return every tuple whose position lies in `sub` (must be
   /// inside range()); footprint shrinks accordingly.

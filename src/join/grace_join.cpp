@@ -118,7 +118,8 @@ double HybridHashSpiller::evict(std::size_t victim) {
   return seconds;
 }
 
-double HybridHashSpiller::add_probe(const Tuple& t, JoinResult& acc) {
+double HybridHashSpiller::add_probe(const Tuple& t, JoinResult& acc,
+                                    std::vector<Tuple>* sink) {
   EHJA_CHECK(!finished_);
   const std::uint64_t pos = position_of(t.key);
   Partition& part = partitions_[partition_of(pos)];
@@ -127,7 +128,7 @@ double HybridHashSpiller::add_probe(const Tuple& t, JoinResult& acc) {
     part.s_file->note_records(1);
     return cost_->tuple_pack_sec + part.s_file->append(schema_.tuple_bytes);
   }
-  const auto probe = table_.probe(t);
+  const auto probe = table_.probe(t, sink);
   acc.matches += probe.matches;
   acc.checksum += probe.checksum_delta;
   return cost_->tuple_probe_sec +
@@ -135,7 +136,8 @@ double HybridHashSpiller::add_probe(const Tuple& t, JoinResult& acc) {
          static_cast<double>(probe.matches) * cost_->match_emit_sec;
 }
 
-double HybridHashSpiller::join_partition(Partition& part, JoinResult& acc) {
+double HybridHashSpiller::join_partition(Partition& part, JoinResult& acc,
+                                         std::vector<Tuple>* sink) {
   double seconds = part.r_file->flush() + part.s_file->flush();
   if (part.r_tuples.empty() || part.s_tuples.empty()) {
     // Still pay the scan of whichever side has data (the 2004 code would
@@ -169,19 +171,20 @@ double HybridHashSpiller::join_partition(Partition& part, JoinResult& acc) {
         seconds += cost_->tuple_compare_sec + cost_->match_emit_sec;
         ++acc.matches;
         acc.checksum += match_signature(it->second, s.id);
+        if (sink) sink->push_back(Tuple{it->second, s.id});
       }
     }
   }
   return seconds;
 }
 
-double HybridHashSpiller::finish(JoinResult& acc) {
+double HybridHashSpiller::finish(JoinResult& acc, std::vector<Tuple>* sink) {
   EHJA_CHECK(!finished_);
   finished_ = true;
   double seconds = 0.0;
   for (Partition& part : partitions_) {
     if (!part.spilled) continue;
-    seconds += join_partition(part, acc);
+    seconds += join_partition(part, acc, sink);
   }
   return seconds;
 }

@@ -55,12 +55,16 @@ class HybridHashSpiller {
   double add_build(const Tuple& t);
 
   /// Route one probe-relation tuple; in-memory partitions are probed into
-  /// `acc` immediately, spilled ones are deferred to finish().
-  double add_probe(const Tuple& t, JoinResult& acc);
+  /// `acc` immediately, spilled ones are deferred to finish().  A non-null
+  /// `sink` receives one Tuple{build_row_id, probe_row_id} per match --
+  /// matches emitted here and in finish() together mirror `acc` exactly,
+  /// whichever side of a spill transition each match lands on.
+  double add_probe(const Tuple& t, JoinResult& acc,
+                   std::vector<Tuple>* sink = nullptr);
 
   /// Join all spilled (R_k, S_k) pairs into `acc`.  Call once, after both
   /// streams end.
-  double finish(JoinResult& acc);
+  double finish(JoinResult& acc, std::vector<Tuple>* sink = nullptr);
 
   /// Drain every build tuple (in memory and on disk) and every deferred
   /// spilled probe tuple, leaving the spiller empty; returns the seconds
@@ -93,7 +97,8 @@ class HybridHashSpiller {
   std::size_t partition_of(std::uint64_t pos) const;
   double evict_largest();
   double evict(std::size_t victim);
-  double join_partition(Partition& part, JoinResult& acc);
+  double join_partition(Partition& part, JoinResult& acc,
+                        std::vector<Tuple>* sink);
 
   Schema schema_;
   std::uint64_t budget_;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -645,11 +646,26 @@ bool decode(Reader& r, ReshuffleDonePayload& v) {
 void encode(Writer& w, const NodeReportPayload& v) {
   encode(w, v.metrics);
   w.u64(v.checksum);
+  w.varint(v.result_rows);
 }
 
 bool decode(Reader& r, NodeReportPayload& v) {
   if (!decode(r, v.metrics)) return false;
   v.checksum = r.u64();
+  v.result_rows = r.varint();
+  return r.ok();
+}
+
+void encode(Writer& w, const ResultChunkPayload& v) {
+  encode(w, v.chunk);
+  w.u8(v.first ? 1 : 0);
+  w.varint(v.total);
+}
+
+bool decode(Reader& r, ResultChunkPayload& v) {
+  if (!decode(r, v.chunk)) return false;
+  if (!read_bool(r, v.first)) return false;
+  v.total = r.varint();
   return r.ok();
 }
 
@@ -938,6 +954,7 @@ bool known_tag(int tag) {
     case Tag::kReshuffleDone:
     case Tag::kReportRequest:
     case Tag::kNodeReport:
+    case Tag::kResultChunk:
     case Tag::kPing:
     case Tag::kPong:
     case Tag::kHeartbeatTick:
@@ -1035,6 +1052,9 @@ void encode_message(const Message& msg, Writer& w) {
       break;
     case Tag::kNodeReport:
       encode(w, msg.as<NodeReportPayload>());
+      break;
+    case Tag::kResultChunk:
+      encode(w, msg.as<ResultChunkPayload>());
       break;
     case Tag::kRecoveryFence:
       encode(w, msg.as<RecoveryFencePayload>());
@@ -1169,6 +1189,9 @@ bool decode_message(Reader& r, Message& out) {
     case Tag::kNodeReport:
       decoded = decode_payload_message<NodeReportPayload>(r, tag, bytes, out);
       break;
+    case Tag::kResultChunk:
+      decoded = decode_payload_message<ResultChunkPayload>(r, tag, bytes, out);
+      break;
     case Tag::kRecoveryFence:
       decoded =
           decode_payload_message<RecoveryFencePayload>(r, tag, bytes, out);
@@ -1242,6 +1265,14 @@ void encode_relation(Writer& w, const RelationSpec& v) {
   w.varint(v.tuple_count);
   w.varint(v.schema.tuple_bytes);
   encode_dist(w, v.dist);
+  // v6: materialized backing rows (pipeline intermediates) ride inside the
+  // relation spec, columnar (ids then keys) with the source checksum.
+  w.u8(v.data ? 1 : 0);
+  if (v.data) {
+    w.u64(v.data->source_checksum);
+    for (const Tuple& t : v.data->rows) w.varint(t.id);
+    for (const Tuple& t : v.data->rows) w.varint(t.key);
+  }
 }
 
 bool decode_relation(Reader& r, RelationSpec& v) {
@@ -1254,7 +1285,22 @@ bool decode_relation(Reader& r, RelationSpec& v) {
     r.fail();
     return false;
   }
-  return decode_dist(r, v.dist);
+  if (!decode_dist(r, v.dist)) return false;
+  bool has_data = false;
+  if (!read_bool(r, has_data)) return false;
+  if (!has_data) {
+    v.data.reset();
+    return true;
+  }
+  if (!r.can_hold(v.tuple_count, 2)) return false;
+  auto data = std::make_shared<MaterializedRelation>();
+  data->source_checksum = r.u64();
+  data->rows.resize(static_cast<std::size_t>(v.tuple_count));
+  for (Tuple& t : data->rows) t.id = r.varint();
+  for (Tuple& t : data->rows) t.key = r.varint();
+  if (!r.ok()) return false;
+  v.data = std::move(data);
+  return true;
 }
 
 void encode_link(Writer& w, const LinkConfig& v) {
@@ -1385,6 +1431,8 @@ void encode_config(const EhjaConfig& config, Writer& w) {
   w.u8(config.ft.standby_scheduler ? 1 : 0);
   w.varint(config.intra_threads);
   w.u8(static_cast<std::uint8_t>(config.intra_mode));
+  w.u8(config.capture_output ? 1 : 0);
+  w.varint(config.pipeline_stage);
 }
 
 bool decode_config(Reader& r, EhjaConfig& config) {
@@ -1433,7 +1481,9 @@ bool decode_config(Reader& r, EhjaConfig& config) {
   if (!read_u32(r, config.ft.phi_window)) return false;
   if (!read_bool(r, config.ft.standby_scheduler)) return false;
   if (!read_u32(r, config.intra_threads)) return false;
-  return read_enum(r, config.intra_mode, 1);
+  if (!read_enum(r, config.intra_mode, 1)) return false;
+  if (!read_bool(r, config.capture_output)) return false;
+  return read_u32(r, config.pipeline_stage);
 }
 
 // --- frame layer ---

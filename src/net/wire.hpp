@@ -55,7 +55,12 @@ namespace ehja::wire {
 /// fleet links.
 /// v5: intra-node parallelism knobs (intra_threads, intra_mode) in the
 /// config handshake.
-inline constexpr std::uint8_t kWireVersion = 5;
+/// v6: materialized pipelines -- stage-tagged configs (pipeline_stage,
+/// capture_output), relation specs optionally carrying concrete rows
+/// (columnar, checksum-stamped) so a stage's captured output ships to
+/// workers inside the config frame, and the kResultChunk message streaming
+/// captured output rows back to the scheduler.
+inline constexpr std::uint8_t kWireVersion = 6;
 
 /// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) over `size` bytes.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
@@ -173,6 +178,8 @@ void encode(Writer& w, const ReshuffleDonePayload& v);
 bool decode(Reader& r, ReshuffleDonePayload& v);
 void encode(Writer& w, const NodeReportPayload& v);
 bool decode(Reader& r, NodeReportPayload& v);
+void encode(Writer& w, const ResultChunkPayload& v);
+bool decode(Reader& r, ResultChunkPayload& v);
 void encode(Writer& w, const RecoveryFencePayload& v);
 bool decode(Reader& r, RecoveryFencePayload& v);
 void encode(Writer& w, const RangeResetPayload& v);

@@ -11,9 +11,12 @@ std::uint64_t stream_id(RelTag tag, std::uint32_t source_index) {
 TupleStream::TupleStream(const RelationSpec& spec, std::uint64_t seed,
                          std::uint32_t source_index,
                          std::uint32_t source_count)
-    : dist_(spec.dist), rng_(seed, stream_id(spec.tag, source_index)) {
+    : dist_(spec.dist),
+      rng_(seed, stream_id(spec.tag, source_index)),
+      data_(spec.data) {
   EHJA_CHECK(source_count > 0);
   EHJA_CHECK(source_index < source_count);
+  if (data_) EHJA_CHECK(data_->rows.size() == spec.tuple_count);
   begin_id_ = spec.tuple_count * source_index / source_count;
   end_id_ = spec.tuple_count * (source_index + 1) / source_count;
   next_id_ = begin_id_;
@@ -21,6 +24,14 @@ TupleStream::TupleStream(const RelationSpec& spec, std::uint64_t seed,
 
 bool TupleStream::next(Tuple& out) {
   if (next_id_ >= end_id_) return false;
+  if (data_) {
+    // Materialized replay: the slice arithmetic above partitions the row
+    // vector exactly as it partitions the id space, so any source count --
+    // including a post-failure reassignment to a different count -- replays
+    // the identical multiset.
+    out = data_->rows[next_id_++];
+    return true;
+  }
   out.id = next_id_++;
   out.key = sample_key(dist_, rng_);
   return true;

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "relation/relation.hpp"
 #include "util/rng.hpp"
@@ -18,11 +20,29 @@
 
 namespace ehja {
 
+/// Concrete rows backing a relation, used when the relation is not sampled
+/// from a distribution but *captured* -- e.g. a pipeline stage's join output
+/// becoming the next stage's build input.  Rows are indexed by tuple id
+/// (rows[i].id == i is NOT required; the id column carries provenance), and
+/// every TupleStream slice reads the same immutable vector, so deterministic
+/// replay -- and with it source reassignment and partition rebuild -- works
+/// exactly as it does for generated relations.
+struct MaterializedRelation {
+  std::vector<Tuple> rows;
+  /// Order-independent checksum of the producing join (JoinResult::checksum
+  /// of the stage that emitted these rows); lets consumers assert the
+  /// hand-off lost nothing.
+  std::uint64_t source_checksum = 0;
+};
+
 struct RelationSpec {
   RelTag tag = RelTag::kR;
   std::uint64_t tuple_count = 0;
   Schema schema;
   DistributionSpec dist;
+  /// When set, streams replay rows[begin..end) instead of sampling `dist`.
+  /// Shared (not owned) so configs can be copied freely and shipped once.
+  std::shared_ptr<const MaterializedRelation> data;
 };
 
 /// One data source's deterministic slice of a relation.
@@ -41,6 +61,7 @@ class TupleStream {
  private:
   DistributionSpec dist_;
   SplitMix64 rng_;
+  std::shared_ptr<const MaterializedRelation> data_;
   std::uint64_t begin_id_ = 0;
   std::uint64_t end_id_ = 0;
   std::uint64_t next_id_ = 0;

@@ -1,0 +1,76 @@
+#include "workload/tpch_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace ehja {
+
+namespace {
+
+std::uint64_t scaled(double scale, std::uint64_t base) {
+  const double v = scale * static_cast<double>(base);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(v)));
+}
+
+}  // namespace
+
+PipelinePlan tpch_like_plan(const TpchLikeOptions& options) {
+  // SF1 ratios: lineitem : orders : customer = 6M : 1.5M : 150k = 40 : 10 : 1.
+  const std::uint64_t orders = scaled(options.scale, 20'000);
+  const std::uint64_t lineitem = scaled(options.scale, 80'000);
+  const std::uint64_t customer = scaled(options.scale, 2'000);
+
+  // Zipf keys live in a scattered key space (mix(rank)) disjoint from
+  // SmallDomain's evenly-strided one, so a skewed FK side forces the PK
+  // side into near-uniform Zipf (s ~ 0) over the same domain: the key
+  // *values* still collide, only the FK multiplicities are skewed.
+  const bool skewed = options.skew > 0.0;
+  const DistributionSpec orderkey_pk =
+      skewed ? DistributionSpec::Zipf(0.05, orders)
+             : DistributionSpec::SmallDomain(orders);
+  const DistributionSpec orderkey_fk =
+      skewed ? DistributionSpec::Zipf(options.skew, orders) : orderkey_pk;
+  const DistributionSpec custkey_pk =
+      skewed ? DistributionSpec::Zipf(0.05, customer)
+             : DistributionSpec::SmallDomain(customer);
+  const DistributionSpec custkey_fk =
+      skewed ? DistributionSpec::Zipf(options.skew, customer) : custkey_pk;
+
+  PipelinePlan plan;
+  plan.first_build =
+      RelationSpec{RelTag::kR, orders, Schema{100}, orderkey_pk, nullptr};
+  plan.intermediate_tuple_bytes = 200;
+  plan.join_pool_nodes = options.join_pool_nodes;
+  plan.data_sources = options.data_sources;
+  plan.seed = options.seed;
+  // Sized so the base shape fills a node's table a few times over: stages
+  // must expand (the whole point of the chain) without thrashing.
+  plan.node_hash_memory_bytes =
+      options.node_hash_memory_bytes != 0
+          ? options.node_hash_memory_bytes
+          : std::max<std::uint64_t>(
+                64 * kKiB,
+                scaled(options.scale, 6'000) * tuple_footprint(Schema{200}));
+
+  PipelineStage stage0;
+  stage0.probe =
+      RelationSpec{RelTag::kS, lineitem, Schema{100}, orderkey_fk, nullptr};
+  stage0.algorithm = options.algorithm;
+  stage0.initial_join_nodes = options.initial_join_nodes;
+  // Stage-0 output rows (order |><| lineitem) carry the order's custkey.
+  stage0.link_dist = custkey_fk;
+  plan.stages.push_back(stage0);
+
+  PipelineStage stage1;
+  stage1.probe =
+      RelationSpec{RelTag::kS, customer, Schema{100}, custkey_pk, nullptr};
+  stage1.algorithm = options.algorithm;
+  stage1.initial_join_nodes = options.initial_join_nodes;
+  plan.stages.push_back(stage1);
+
+  return plan;
+}
+
+}  // namespace ehja

@@ -1,0 +1,43 @@
+// A TPC-H-shaped pipeline workload: lineitem |><| orders |><| customer.
+//
+// The classic left-deep order-priority chain, scaled down from SF1's
+// 6M : 1.5M : 150k rows but keeping the cardinality ratios (each order has
+// ~4 lineitems, each customer ~10 orders) and the foreign-key structure:
+//
+//   stage 0: build = orders   (key = orderkey, ~unique over the domain)
+//            probe = lineitem (key = orderkey FK, 4x fan-in)
+//   stage 1: build = stage-0 output re-keyed to custkey via link_dist
+//            probe = customer (key = custkey, ~unique)
+//
+// The skew knob shifts the FK distributions to Zipf -- a few hot orders
+// own most lineitems and a few hot customers own most orders, the
+// workload shape that actually stresses expansion -- while skew = 0 keeps
+// everything small-domain uniform.
+#pragma once
+
+#include <cstdint>
+
+#include "core/pipeline.hpp"
+
+namespace ehja {
+
+struct TpchLikeOptions {
+  /// Row-count multiplier over the base 20k orders / 80k lineitem /
+  /// 2k customer shape.
+  double scale = 1.0;
+  /// 0 = uniform FKs; > 0 = Zipf(s = skew) hot orders and hot customers.
+  double skew = 0.0;
+  /// Shared node budget and per-stage initial claims.
+  std::uint32_t join_pool_nodes = 16;
+  std::uint32_t initial_join_nodes = 2;
+  std::uint32_t data_sources = 2;
+  /// Per-node memory; sized so the base scale forces some expansion.
+  std::uint64_t node_hash_memory_bytes = 0;  // 0 = derive from scale
+  std::uint64_t seed = 20040607;
+  Algorithm algorithm = Algorithm::kHybrid;
+};
+
+/// Build the two-stage plan described above.
+PipelinePlan tpch_like_plan(const TpchLikeOptions& options = {});
+
+}  // namespace ehja

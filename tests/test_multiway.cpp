@@ -1,0 +1,264 @@
+// Randomized multi-way pipeline fuzz (ctest label: pipeline).
+//
+// Left-deep plans of 2-4 stages are drawn at random -- every stage picks
+// its own algorithm (all five) and key distribution (uniform / small-domain
+// / zipf) -- and executed with real materialized hand-offs, then compared
+// against the serial_multi_join oracle: same matches, same checksum, and
+// byte-identical final output rows.  The determinism pin runs one fixed
+// plan on every runtime (sim, threads, sockets) and demands the identical
+// byte-for-byte answer, which is what makes the pipeline's canonical
+// hand-off order trustworthy as a recovery replay substrate.
+//
+// Socket runs fork real worker processes, so this binary carries the same
+// worker-dispatching main() as test_socket.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "runtime/socket_runtime.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+#include "workload/tpch_like.hpp"
+
+namespace ehja {
+namespace {
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kSplit, Algorithm::kReplicate, Algorithm::kHybrid,
+    Algorithm::kOutOfCore, Algorithm::kAdaptive};
+
+DistributionSpec random_dist(SplitMix64& rng, bool allow_uniform) {
+  switch (rng.next_below(allow_uniform ? 3 : 2)) {
+    case 0:
+      return DistributionSpec::SmallDomain(256 << rng.next_below(4));
+    case 1:
+      return DistributionSpec::Zipf(1.05 + 0.2 * rng.next_double(),
+                                    512 << rng.next_below(3));
+    default:
+      // Uniform over the full 64-bit key space: matches are astronomically
+      // unlikely, so this exercises the empty-intermediate short-circuit.
+      return DistributionSpec::Uniform();
+  }
+}
+
+PipelinePlan random_plan(SplitMix64& rng) {
+  PipelinePlan plan;
+  plan.seed = rng.next_u64();
+  plan.join_pool_nodes = 8;
+  plan.data_sources = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+  plan.chunk_tuples = 500;
+  plan.intermediate_tuple_bytes = 200;
+  // Tight enough that larger intermediates force expansion against the
+  // shared budget, roomy enough that tiny stages stay single-node.
+  plan.node_hash_memory_bytes = 2500 * tuple_footprint(Schema{200});
+  plan.first_build =
+      RelationSpec{RelTag::kR, 2'000 + rng.next_below(6'000), Schema{100},
+                   random_dist(rng, /*allow_uniform=*/false), nullptr};
+
+  const std::size_t stage_count = 2 + rng.next_below(3);  // 2-4
+  for (std::size_t k = 0; k < stage_count; ++k) {
+    PipelineStage stage;
+    stage.probe =
+        RelationSpec{RelTag::kS, 3'000 + rng.next_below(6'000), Schema{100},
+                     random_dist(rng, /*allow_uniform=*/true), nullptr};
+    stage.algorithm =
+        kAllAlgorithms[rng.next_below(std::size(kAllAlgorithms))];
+    stage.initial_join_nodes =
+        1 + static_cast<std::uint32_t>(rng.next_below(3));
+    stage.link_dist = random_dist(rng, /*allow_uniform=*/false);
+    plan.stages.push_back(stage);
+  }
+  return plan;
+}
+
+void expect_matches_oracle(const PipelinePlan& plan,
+                           const PipelineResult& pipeline) {
+  const MultiJoinResult oracle = serial_multi_join(plan);
+  ASSERT_EQ(pipeline.stages.size(), oracle.stage_results.size());
+  for (std::size_t k = 0; k < pipeline.stages.size(); ++k) {
+    if (pipeline.stages[k].executed) {
+      EXPECT_EQ(pipeline.stages[k].run.join(), oracle.stage_results[k])
+          << "stage " << k;
+    } else {
+      EXPECT_EQ(oracle.stage_results[k], JoinResult{}) << "stage " << k;
+    }
+  }
+  EXPECT_EQ(pipeline.final, oracle.final);
+  EXPECT_EQ(pipeline.final_rows, oracle.final_rows);
+  EXPECT_LE(pipeline.peak_join_nodes, plan.join_pool_nodes);
+}
+
+// --- randomized fuzz on the sim runtime (dense coverage) ---
+
+TEST(MultiwayFuzz, RandomPlansMatchOracleOnSim) {
+  SplitMix64 rng(20040607, /*stream=*/0x3157a6e);
+  for (int i = 0; i < 10; ++i) {
+    const PipelinePlan plan = random_plan(rng);
+    SCOPED_TRACE("plan " + std::to_string(i) + ", " +
+                 std::to_string(plan.stages.size()) + " stages, seed " +
+                 std::to_string(plan.seed));
+    expect_matches_oracle(plan, run_pipeline(plan, RuntimeKind::kSim));
+  }
+}
+
+// --- the same space on real threads (races, arbitrary delivery order) ---
+
+TEST(MultiwayFuzz, RandomPlansMatchOracleOnThreads) {
+  SplitMix64 rng(20040607, /*stream=*/0x7412ead);
+  for (int i = 0; i < 4; ++i) {
+    const PipelinePlan plan = random_plan(rng);
+    SCOPED_TRACE("plan " + std::to_string(i) + ", " +
+                 std::to_string(plan.stages.size()) + " stages, seed " +
+                 std::to_string(plan.seed));
+    expect_matches_oracle(plan, run_pipeline(plan, RuntimeKind::kThread));
+  }
+}
+
+// --- per-algorithm 3-stage pins on both real runtimes ---
+
+PipelinePlan algo_plan(Algorithm algorithm) {
+  PipelinePlan plan;
+  plan.seed = 7;
+  plan.join_pool_nodes = 6;
+  plan.data_sources = 2;
+  plan.chunk_tuples = 500;
+  plan.node_hash_memory_bytes = 2000 * tuple_footprint(Schema{200});
+  plan.first_build = RelationSpec{RelTag::kR, 6'000, Schema{100},
+                                  DistributionSpec::SmallDomain(2048), nullptr};
+  for (std::size_t k = 0; k < 3; ++k) {
+    PipelineStage stage;
+    stage.probe = RelationSpec{RelTag::kS, 8'000, Schema{100},
+                               DistributionSpec::SmallDomain(2048), nullptr};
+    stage.algorithm = algorithm;
+    stage.initial_join_nodes = 2;
+    stage.link_dist = DistributionSpec::SmallDomain(2048);
+    plan.stages.push_back(stage);
+  }
+  return plan;
+}
+
+std::string algo_test_name(const ::testing::TestParamInfo<Algorithm>& info) {
+  std::string n = algorithm_name(info.param);
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+class MultiwayThreadSuite : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(MultiwayThreadSuite, ThreeStagesMatchOracle) {
+  const PipelinePlan plan = algo_plan(GetParam());
+  expect_matches_oracle(plan, run_pipeline(plan, RuntimeKind::kThread));
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, MultiwayThreadSuite,
+                         ::testing::ValuesIn(kAllAlgorithms), algo_test_name);
+
+class MultiwaySocketSuite : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(MultiwaySocketSuite, ThreeStagesMatchOracleAcrossProcesses) {
+  const PipelinePlan plan = algo_plan(GetParam());
+  expect_matches_oracle(plan, run_pipeline(plan, RuntimeKind::kSocket));
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, MultiwaySocketSuite,
+                         ::testing::ValuesIn(kAllAlgorithms), algo_test_name);
+
+// --- determinism pin: one plan, every runtime, identical bytes ---
+
+TEST(MultiwayDeterminism, SameSeedSameBytesAcrossRuntimes) {
+  const PipelinePlan plan = algo_plan(Algorithm::kHybrid);
+  const PipelineResult sim_a = run_pipeline(plan, RuntimeKind::kSim);
+  const PipelineResult sim_b = run_pipeline(plan, RuntimeKind::kSim);
+  const PipelineResult threads = run_pipeline(plan, RuntimeKind::kThread);
+  const PipelineResult sockets = run_pipeline(plan, RuntimeKind::kSocket);
+
+  EXPECT_EQ(sim_a.final, sim_b.final);
+  EXPECT_EQ(sim_a.final_rows, sim_b.final_rows);
+  EXPECT_EQ(sim_a.final, threads.final);
+  EXPECT_EQ(sim_a.final_rows, threads.final_rows);
+  EXPECT_EQ(sim_a.final, sockets.final);
+  EXPECT_EQ(sim_a.final_rows, sockets.final_rows);
+  // The hand-off checksums chain identically too.
+  ASSERT_EQ(sim_a.stages.size(), sockets.stages.size());
+  for (std::size_t k = 0; k < sim_a.stages.size(); ++k) {
+    EXPECT_EQ(sim_a.stages[k].output_checksum,
+              sockets.stages[k].output_checksum);
+    EXPECT_EQ(sim_a.stages[k].build_input_checksum,
+              sockets.stages[k].build_input_checksum);
+  }
+}
+
+// --- the TPC-H-shaped workload behind bench_pipeline ---
+
+TEST(TpchLikeTest, UniformChainValidatesAndMatchesOracle) {
+  TpchLikeOptions options;
+  options.scale = 0.1;
+  const PipelinePlan plan = tpch_like_plan(options);
+  EXPECT_EQ(plan.validate_or_error(), std::nullopt);
+  const PipelineResult pipeline = run_pipeline(plan);
+  EXPECT_GT(pipeline.final.matches, 0u);
+  expect_matches_oracle(plan, pipeline);
+}
+
+TEST(TpchLikeTest, SkewedChainStillJoins) {
+  TpchLikeOptions options;
+  options.scale = 0.1;
+  options.skew = 1.2;
+  const PipelinePlan plan = tpch_like_plan(options);
+  EXPECT_EQ(plan.validate_or_error(), std::nullopt);
+  const PipelineResult pipeline = run_pipeline(plan);
+  // Zipf FKs against the near-uniform PK side must actually collide, and
+  // skew fans hot keys out into larger intermediates than the uniform
+  // chain's independence estimate.
+  EXPECT_GT(pipeline.stages[0].output_rows, 0u);
+  EXPECT_GT(pipeline.final.matches, 0u);
+  expect_matches_oracle(plan, pipeline);
+}
+
+// --- SIGKILL of a real worker process mid-stage-2 build, then recovery ---
+//
+// On the socket runtime the chunk-triggered kill is a literal
+// raise(SIGKILL) inside the victim worker process; the pipeline must
+// recover the stage and the full chain must still match the oracle.
+
+TEST(MultiwaySocketChaos, WorkerSigkilledMidStage2BuildStillMatchesOracle) {
+  PipelinePlan plan = algo_plan(Algorithm::kHybrid);
+  // Wall-clock heartbeats: generous timeout so sanitizer scheduling noise
+  // cannot fake a second death (same knobs as test_socket's kill tests).
+  plan.ft.heartbeat_interval_sec = 0.05;
+  plan.ft.heartbeat_timeout_sec = 1.0;
+  KillSpec kill;
+  kill.pool_index = 1;
+  kill.after_chunks = 4;
+  plan.stages[1].faults.kills.push_back(kill);
+
+  const PipelineResult pipeline = run_pipeline(plan, RuntimeKind::kSocket);
+  const MultiJoinResult oracle = serial_multi_join(plan);
+  EXPECT_EQ(pipeline.final, oracle.final);
+  EXPECT_EQ(pipeline.final_rows, oracle.final_rows);
+  const RunMetrics& wounded = pipeline.stages[1].run.metrics;
+  EXPECT_EQ(wounded.failures_injected, 1u);
+  EXPECT_GE(wounded.failures_detected, 1u);
+  EXPECT_GE(wounded.recoveries, 1u);
+  // Stages up- and downstream of the death ran clean.
+  EXPECT_EQ(pipeline.stages[0].run.metrics.failures_injected, 0u);
+  EXPECT_EQ(pipeline.stages[2].run.metrics.failures_injected, 0u);
+}
+
+}  // namespace
+}  // namespace ehja
+
+// Custom main: a forked worker re-executes this binary with
+// --ehja-worker=N --ehja-coordinator-port=P; it must become a runtime
+// worker, not a gtest run (see test_socket.cpp).
+int main(int argc, char** argv) {
+  if (const auto worker_exit = ehja::maybe_run_socket_worker(argc, argv)) {
+    return *worker_exit;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

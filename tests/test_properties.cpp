@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "core/driver.hpp"
+#include "core/pipeline.hpp"
 #include "util/units.hpp"
 
 namespace ehja {
@@ -236,6 +237,98 @@ TEST_P(SeedSweep, EverySeedMatchesItsOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
                          ::testing::Values(1u, 42u, 1234567u, 0xdeadbeefu));
+
+// ------------------------------------------------- pipeline invariants
+
+// Three invariants over materialized multi-way pipelines, swept across
+// (algorithm x stage count): the final cardinality equals the serial
+// oracle's count; peak node usage never exceeds the shared global budget;
+// and each stage's output checksum equals the next stage's build-input
+// checksum (nothing is lost or invented at a hand-off).
+
+struct PipelineParam {
+  Algorithm algorithm;
+  std::size_t stages;
+};
+
+PipelinePlan property_plan(const PipelineParam& p) {
+  PipelinePlan plan;
+  plan.first_build = RelationSpec{RelTag::kR, 5'000, Schema{100},
+                                  DistributionSpec::SmallDomain(1536),
+                                  nullptr};
+  plan.intermediate_tuple_bytes = 200;
+  plan.join_pool_nodes = 10;
+  plan.data_sources = 2;
+  plan.chunk_tuples = 500;
+  plan.node_hash_memory_bytes = 1200 * tuple_footprint(Schema{200});
+  for (std::size_t k = 0; k < p.stages; ++k) {
+    PipelineStage stage;
+    stage.probe = RelationSpec{RelTag::kS, 6'000, Schema{100},
+                               DistributionSpec::SmallDomain(1536), nullptr};
+    stage.algorithm = p.algorithm;
+    stage.initial_join_nodes = 2;
+    stage.link_dist = DistributionSpec::SmallDomain(2048);
+    plan.stages.push_back(stage);
+  }
+  return plan;
+}
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineParam> {};
+
+TEST_P(PipelineSweep, FinalCardinalityEqualsOracleCount) {
+  const auto plan = property_plan(GetParam());
+  const PipelineResult pipeline = run_pipeline(plan);
+  const MultiJoinResult oracle = serial_multi_join(plan);
+  EXPECT_EQ(pipeline.final.matches, oracle.final.matches);
+  EXPECT_EQ(pipeline.final_rows.size(), oracle.final.matches);
+}
+
+TEST_P(PipelineSweep, PeakNodeUsageNeverExceedsGlobalBudget) {
+  const auto plan = property_plan(GetParam());
+  const PipelineResult pipeline = run_pipeline(plan);
+  EXPECT_LE(pipeline.peak_join_nodes, plan.join_pool_nodes);
+  for (std::size_t k = 0; k < pipeline.stages.size(); ++k) {
+    const StageResult& stage = pipeline.stages[k];
+    EXPECT_LE(stage.peak_join_nodes, plan.join_pool_nodes) << "stage " << k;
+    if (stage.executed) {
+      EXPECT_LE(stage.run.metrics.final_join_nodes, plan.join_pool_nodes)
+          << "stage " << k;
+    }
+  }
+}
+
+TEST_P(PipelineSweep, HandoffChecksumsChain) {
+  const auto plan = property_plan(GetParam());
+  const PipelineResult pipeline = run_pipeline(plan);
+  for (std::size_t k = 1; k < pipeline.stages.size(); ++k) {
+    EXPECT_EQ(pipeline.stages[k].build_input_checksum,
+              pipeline.stages[k - 1].output_checksum)
+        << "stage " << k;
+    if (pipeline.stages[k].executed) {
+      EXPECT_EQ(pipeline.stages[k].run.metrics.build_tuples_total,
+                pipeline.stages[k - 1].output_rows)
+          << "stage " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmByDepth, PipelineSweep,
+    ::testing::Values(PipelineParam{Algorithm::kSplit, 3},
+                      PipelineParam{Algorithm::kReplicate, 3},
+                      PipelineParam{Algorithm::kHybrid, 2},
+                      PipelineParam{Algorithm::kHybrid, 3},
+                      PipelineParam{Algorithm::kHybrid, 4},
+                      PipelineParam{Algorithm::kOutOfCore, 3},
+                      PipelineParam{Algorithm::kAdaptive, 3}),
+    [](const ::testing::TestParamInfo<PipelineParam>& info) {
+      std::string name = algorithm_name(info.param.algorithm);
+      name += "_d" + std::to_string(info.param.stages);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 }  // namespace
 }  // namespace ehja

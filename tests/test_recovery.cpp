@@ -12,6 +12,7 @@
 
 #include "core/driver.hpp"
 #include "core/failure_detector.hpp"
+#include "core/pipeline.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -510,6 +511,125 @@ TEST(RecoveryFuzz, AnyRoleRandomKillPointMatchesOracle) {
     EXPECT_EQ(run.metrics.failures_detected - run.metrics.false_positive_deaths,
               run.metrics.failures_injected);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Mid-pipeline kills: a join worker dies inside one stage of a 3-stage
+// materialized pipeline.  The recovered stage must still hand off exactly
+// the right rows, so the whole chain -- not just the wounded stage -- is
+// checked against the serial_multi_join oracle.  The build-side kill uses
+// the after_chunks trigger; the probe-side kill uses at_time (derived from
+// a fault-free baseline), covering both trigger mechanisms.
+
+PipelinePlan chaos_pipeline_plan() {
+  PipelinePlan plan;
+  plan.first_build = RelationSpec{RelTag::kR, 12'000, Schema{100},
+                                  DistributionSpec::SmallDomain(2048),
+                                  nullptr};
+  plan.intermediate_tuple_bytes = 200;
+  plan.join_pool_nodes = 8;
+  plan.data_sources = 2;
+  plan.chunk_tuples = 500;
+  plan.node_hash_memory_bytes = 1500 * tuple_footprint(Schema{200});
+  plan.ft.heartbeat_interval_sec = 0.025;
+  plan.ft.heartbeat_timeout_sec = 0.1;
+  for (std::size_t k = 0; k < 3; ++k) {
+    PipelineStage stage;
+    stage.probe = RelationSpec{RelTag::kS, 10'000, Schema{100},
+                               DistributionSpec::SmallDomain(2048), nullptr};
+    stage.algorithm = Algorithm::kHybrid;
+    stage.initial_join_nodes = 3;
+    stage.link_dist = DistributionSpec::SmallDomain(2048);
+    plan.stages.push_back(stage);
+  }
+  return plan;
+}
+
+void expect_pipeline_recovered(const PipelinePlan& plan,
+                               const PipelineResult& pipeline,
+                               std::size_t wounded_stage) {
+  const MultiJoinResult oracle = serial_multi_join(plan);
+  EXPECT_EQ(pipeline.final, oracle.final);
+  EXPECT_EQ(pipeline.final_rows, oracle.final_rows);
+  const RunMetrics& m = pipeline.stages[wounded_stage].run.metrics;
+  EXPECT_EQ(m.failures_injected, 1u);
+  EXPECT_EQ(m.failures_detected, 1u);
+  EXPECT_GE(m.recoveries, 1u);
+  // The hand-off chain must survive the recovery intact.
+  for (std::size_t k = 1; k < pipeline.stages.size(); ++k) {
+    EXPECT_EQ(pipeline.stages[k].build_input_checksum,
+              pipeline.stages[k - 1].output_checksum)
+        << "stage " << k;
+  }
+}
+
+TEST(PipelineChaosTest, JoinWorkerDiesMidStage2Build) {
+  auto plan = chaos_pipeline_plan();
+  // Stage index 1 = the pipeline's second stage; chunk 6 of a multi-slice
+  // build lands well inside its build phase.
+  plan.stages[1].faults.kills.push_back(kill_after_chunks(1, 6));
+  const PipelineResult pipeline = run_pipeline(plan);
+  expect_pipeline_recovered(plan, pipeline, 1);
+  EXPECT_GT(pipeline.stages[1].run.metrics.replayed_build_tuples, 0u);
+}
+
+TEST(PipelineChaosTest, JoinWorkerDiesMidFinalStageProbe) {
+  auto plan = chaos_pipeline_plan();
+  // Baseline with the detector armed so the faulty run's timeline matches
+  // exactly up to the injected death.
+  plan.ft.force_enabled = true;
+  const PipelineResult baseline = run_pipeline(plan);
+  const RunMetrics& base = baseline.stages[2].run.metrics;
+  ASSERT_GT(base.t_probe_end, base.t_reshuffle_end);
+  const double mid = 0.5 * (base.t_reshuffle_end + base.t_probe_end);
+  plan.stages[2].faults.kills.push_back(kill_at(0, mid));
+  const PipelineResult pipeline = run_pipeline(plan);
+  expect_pipeline_recovered(plan, pipeline, 2);
+  EXPECT_GT(pipeline.stages[2].run.metrics.replayed_probe_tuples, 0u);
+}
+
+TEST(PipelineChaosTest, KillsInTwoDifferentStagesOfOneRun) {
+  auto plan = chaos_pipeline_plan();
+  plan.stages[0].faults.kills.push_back(kill_after_chunks(2, 8));
+  plan.stages[2].faults.kills.push_back(kill_after_chunks(0, 6));
+  const PipelineResult pipeline = run_pipeline(plan);
+  const MultiJoinResult oracle = serial_multi_join(plan);
+  EXPECT_EQ(pipeline.final, oracle.final);
+  EXPECT_EQ(pipeline.final_rows, oracle.final_rows);
+  EXPECT_EQ(pipeline.stages[0].run.metrics.failures_injected, 1u);
+  EXPECT_EQ(pipeline.stages[2].run.metrics.failures_injected, 1u);
+  // The unwounded middle stage must not have seen a failure.
+  EXPECT_EQ(pipeline.stages[1].run.metrics.failures_injected, 0u);
+}
+
+TEST(PipelineChaosTest, MidStage2KillOnRealThreads) {
+  auto plan = chaos_pipeline_plan();
+  plan.first_build.tuple_count = 6'000;
+  for (auto& stage : plan.stages) stage.probe.tuple_count = 8'000;
+  plan.ft.heartbeat_interval_sec = 0.05;
+  plan.ft.heartbeat_timeout_sec = 1.0;
+  plan.stages[1].faults.kills.push_back(kill_after_chunks(1, 4));
+  const PipelineResult pipeline = run_pipeline(plan, RuntimeKind::kThread);
+  const MultiJoinResult oracle = serial_multi_join(plan);
+  EXPECT_EQ(pipeline.final, oracle.final);
+  EXPECT_EQ(pipeline.final_rows, oracle.final_rows);
+  EXPECT_EQ(pipeline.stages[1].run.metrics.failures_injected, 1u);
+  EXPECT_GE(pipeline.stages[1].run.metrics.recoveries, 1u);
+}
+
+// Determinism with a mid-pipeline fault: the same plan and FaultPlan
+// reproduce the identical chain, including the wounded stage's timeline.
+TEST(PipelineChaosTest, FaultyPipelineIsDeterministic) {
+  auto plan = chaos_pipeline_plan();
+  plan.stages[1].faults.kills.push_back(kill_after_chunks(1, 6));
+  const PipelineResult a = run_pipeline(plan);
+  const PipelineResult b = run_pipeline(plan);
+  EXPECT_EQ(a.final, b.final);
+  EXPECT_EQ(a.final_rows, b.final_rows);
+  EXPECT_EQ(a.stages[1].run.metrics.t_complete,
+            b.stages[1].run.metrics.t_complete);
+  EXPECT_EQ(a.stages[1].run.metrics.replayed_build_tuples,
+            b.stages[1].run.metrics.replayed_build_tuples);
 }
 
 // ---------------------------------------------------------------------------

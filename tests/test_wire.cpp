@@ -216,8 +216,12 @@ std::vector<Message> message_catalogue() {
   add(make_message(Tag::kReshuffleDone, ReshuffleDonePayload{3}, 48), 5);
   add(make_signal(Tag::kReportRequest), 0);
   add(make_message(Tag::kNodeReport,
-                   NodeReportPayload{sample_metrics(), 0xfeedface}, 96),
+                   NodeReportPayload{sample_metrics(), 0xfeedface, 21}, 96),
       5);
+  {
+    ResultChunkPayload p{sample_chunk(RelTag::kR), true, 4242};
+    add(make_message(Tag::kResultChunk, p, 200), 5);
+  }
   add(make_signal(Tag::kPing), 0);
   add(make_signal(Tag::kPong), 6);
   add(make_signal(Tag::kHeartbeatTick), 0);
@@ -517,6 +521,17 @@ EhjaConfig sample_config() {
   c.ft.detector = DetectorKind::kPhiAccrual;
   c.ft.phi_threshold = 6.0;
   c.ft.standby_scheduler = true;
+  // v6 pipeline fields: a materialized build side (rows ride in the config
+  // frame) plus output capture.
+  c.capture_output = true;
+  c.pipeline_stage = 2;
+  auto data = std::make_shared<MaterializedRelation>();
+  data->source_checksum = 0x1122334455667788ull;
+  data->rows.reserve(c.build_rel.tuple_count);
+  for (std::uint64_t i = 0; i < c.build_rel.tuple_count; ++i) {
+    data->rows.push_back(Tuple{i * 3 + 1, ~i});
+  }
+  c.build_rel.data = std::move(data);
   return c;
 }
 
@@ -550,6 +565,12 @@ TEST(WireConfig, RoundTripReencodesIdentically) {
   EXPECT_EQ(decoded.ft.phi_threshold, 6.0);
   EXPECT_TRUE(decoded.ft.standby_scheduler);
   EXPECT_TRUE(decoded.recovery_enabled());
+  EXPECT_TRUE(decoded.capture_output);
+  EXPECT_EQ(decoded.pipeline_stage, 2u);
+  ASSERT_TRUE(decoded.build_rel.data != nullptr);
+  EXPECT_EQ(decoded.build_rel.data->source_checksum, 0x1122334455667788ull);
+  EXPECT_EQ(decoded.build_rel.data->rows, original.build_rel.data->rows);
+  EXPECT_EQ(decoded.probe_rel.data, nullptr);
 }
 
 TEST(WireConfig, TruncationNeverCrashes) {
